@@ -1,0 +1,125 @@
+//! Brute-force exact reliability by possible-world enumeration.
+//!
+//! Sums `I(G_p, T) · Pr[G_p]` over all `2^|E|` possible worlds (paper
+//! Definition 1). Only feasible for tiny graphs; it is the ground-truth
+//! oracle for every property test in the workspace.
+
+use netrel_numeric::NeumaierSum;
+use netrel_ugraph::{Dsu, UncertainGraph, VertexId};
+
+/// Maximum edge count accepted (2^28 worlds ≈ a few seconds in release mode;
+/// tests stay well below this).
+pub const MAX_EDGES: usize = 28;
+
+/// Exact `R[G, T]` by enumeration. Panics if `|E| > MAX_EDGES` or terminals
+/// are invalid; terminal sets of size 0/1 have reliability 1.
+pub fn brute_force_reliability(g: &UncertainGraph, terminals: &[VertexId]) -> f64 {
+    let t = g.validate_terminals(terminals).expect("invalid terminals");
+    if t.len() <= 1 {
+        return 1.0;
+    }
+    let m = g.num_edges();
+    assert!(m <= MAX_EDGES, "brute force limited to {MAX_EDGES} edges, got {m}");
+    let k = t.len() as u32;
+    let mut dsu = Dsu::new(g.num_vertices());
+    let mut tcount = vec![0u32; g.num_vertices()];
+    let mut acc = NeumaierSum::new();
+    for world in 0u64..(1u64 << m) {
+        dsu.reset();
+        tcount.fill(0);
+        for &v in &t {
+            tcount[v] = 1;
+        }
+        let mut prob = 1.0f64;
+        let mut connected = 0u32;
+        for (i, e) in g.edges().iter().enumerate() {
+            if world >> i & 1 == 1 {
+                prob *= e.p;
+                let ra = dsu.find(e.u);
+                let rb = dsu.find(e.v);
+                if ra != rb {
+                    let tc = tcount[ra] + tcount[rb];
+                    let r = dsu.union(ra, rb).expect("distinct roots merge");
+                    tcount[r] = tc;
+                    connected = connected.max(tc);
+                }
+            } else {
+                prob *= 1.0 - e.p;
+            }
+        }
+        if connected >= k {
+            acc.add(prob);
+        }
+    }
+    acc.total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = UncertainGraph::new(2, [(0, 1, 0.3)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[0, 1]), 0.3));
+    }
+
+    #[test]
+    fn series_parallel_by_hand() {
+        // Two edges in series: R = p1 p2.
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[0, 2]), 0.4));
+        // Triangle, terminals {0, 2}: paths 0-2 direct or 0-1-2.
+        // R = p02 + (1-p02) p01 p12.
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)]).unwrap();
+        let expect = 0.3 + 0.7 * 0.5 * 0.8;
+        assert!(close(brute_force_reliability(&g, &[0, 2]), expect));
+    }
+
+    #[test]
+    fn paper_figure1_example() {
+        // The paper's running example: 5 vertices, 6 edges, p = 0.7 each.
+        // Terminals {a=0, d=3, e=4}; possible graphs with 4 existent edges
+        // have probability 0.7^4 * 0.3^2 = 0.0216 (sanity anchor from §1).
+        assert!(close(0.7f64.powi(4) * 0.3f64.powi(2), 0.021609));
+    }
+
+    #[test]
+    fn three_terminals_on_star() {
+        // Star center 3, leaves 0,1,2; terminals leaves: all three spokes needed.
+        let g = UncertainGraph::new(4, [(0, 3, 0.9), (1, 3, 0.8), (2, 3, 0.7)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[0, 1, 2]), 0.9 * 0.8 * 0.7));
+    }
+
+    #[test]
+    fn k_all_vertices_is_all_terminal_reliability() {
+        // Cycle of 3 with all terminals: fails only if >= 2 edges fail.
+        let p = 0.5f64;
+        let g = UncertainGraph::new(3, [(0, 1, p), (1, 2, p), (0, 2, p)]).unwrap();
+        // R = p^3 + 3 p^2 (1-p).
+        let expect = p.powi(3) + 3.0 * p.powi(2) * (1.0 - p);
+        assert!(close(brute_force_reliability(&g, &[0, 1, 2]), expect));
+    }
+
+    #[test]
+    fn trivial_terminal_sets() {
+        let g = UncertainGraph::new(2, [(0, 1, 0.1)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[1]), 1.0));
+    }
+
+    #[test]
+    fn disconnected_terminals_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[0, 2]), 0.0));
+    }
+
+    #[test]
+    fn probability_one_edges_certain() {
+        let g = UncertainGraph::new(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!(close(brute_force_reliability(&g, &[0, 1, 2]), 1.0));
+    }
+}

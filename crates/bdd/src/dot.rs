@@ -1,0 +1,85 @@
+//! Graphviz (DOT) export for small materialized BDDs.
+//!
+//! Mirrors the paper's Figure 2: dashed arrows are 0-arcs (edge absent),
+//! solid arrows are 1-arcs (edge present); rectangles are the sinks.
+
+use crate::full::{FullBdd, ARC_ONE, ARC_ZERO};
+
+/// Render a materialized BDD as a DOT digraph.
+///
+/// Node names follow the paper's figure: `G1` is the root, numbering proceeds
+/// layer by layer. Layers are labelled with the edge id they decide.
+pub fn to_dot(bdd: &FullBdd) -> String {
+    let mut out = String::from("digraph s2bdd {\n  rankdir=TB;\n");
+    out.push_str("  zero [label=\"0\", shape=box];\n  one [label=\"1\", shape=box];\n");
+
+    // Assign G-numbers layer by layer.
+    let mut base = vec![0usize; bdd.layers.len() + 1];
+    for (l, level) in bdd.layers.iter().enumerate() {
+        base[l + 1] = base[l] + level.len();
+    }
+    let name = |layer: usize, idx: u32| format!("g{}", base[layer] + idx as usize + 1);
+
+    for (l, level) in bdd.layers.iter().enumerate() {
+        out.push_str(&format!(
+            "  subgraph cluster_l{l} {{ label=\"layer {} (e{})\"; style=dashed;\n",
+            l + 1,
+            bdd.edge_labels[l]
+        ));
+        for i in 0..level.len() {
+            out.push_str(&format!(
+                "    {} [label=\"G{}\"];\n",
+                name(l, i as u32),
+                base[l] + i + 1
+            ));
+        }
+        out.push_str("  }\n");
+        for (i, node) in level.iter().enumerate() {
+            for (target, style) in [(node.lo, "dashed"), (node.hi, "solid")] {
+                let dst = match target {
+                    ARC_ZERO => "zero".to_string(),
+                    ARC_ONE => "one".to_string(),
+                    t => name(l + 1, t),
+                };
+                out.push_str(&format!(
+                    "  {} -> {} [style={style}];\n",
+                    name(l, i as u32),
+                    dst
+                ));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::{FullBdd, FullBddConfig};
+    use netrel_ugraph::UncertainGraph;
+
+    #[test]
+    fn renders_series_graph() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        let b = FullBdd::build(&g, &[0, 2], FullBddConfig::default()).unwrap();
+        let dot = to_dot(&b);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("g1"));
+        assert!(dot.contains("one"));
+        assert!(dot.contains("zero"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn arc_counts_match_nodes() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)])
+            .unwrap();
+        let b = FullBdd::build(&g, &[0, 2], FullBddConfig::default()).unwrap();
+        let dot = to_dot(&b);
+        let arcs = dot.matches(" -> ").count();
+        assert_eq!(arcs, 2 * b.node_count, "every node has exactly two arcs");
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact reliability by the Factoring Theorem (paper Eq. 12).
+//!
+//! `R[G_E] = p(e) · R[G_E | e existent] + (1 − p(e)) · R[G_E | e non-existent]`
+//!
+//! The classical exact algorithm: pick an uncertain edge, branch on its two
+//! states (contracting on the existent branch, deleting on the other), and
+//! recurse, applying series/parallel/degree reductions at every step. It is
+//! exponential in the worst case but very effective on sparse graphs, and —
+//! crucially for this workspace — it is a third, structurally different
+//! exact implementation to cross-validate brute force and the BDD family.
+//!
+//! Implementation notes: the recursion operates on a contracted multigraph
+//! (contraction merges endpoints, which creates parallel edges and
+//! self-loops — both are resolved as reductions). Terminal identity follows
+//! contractions through a union-find.
+
+use netrel_ugraph::{Dsu, UncertainGraph, VertexId};
+
+/// Work item: a multigraph under contraction.
+#[derive(Clone)]
+struct FactorState {
+    /// Live edges as (u, v, p) over contracted vertex classes.
+    edges: Vec<(usize, usize, f64)>,
+    /// Union-find over original vertices tracking contractions.
+    dsu: Dsu,
+    /// Terminal count per *root* class (indexed by original vertex id).
+    tcnt: Vec<u32>,
+    /// Number of distinct terminal classes still to connect.
+    classes: usize,
+}
+
+/// Exact `R[G, T]` by recursive factoring with reductions.
+///
+/// Feasible up to a few dozen edges beyond brute force on sparse inputs;
+/// intended for validation and ablation rather than production use (the
+/// S2BDD with unbounded width is the faster exact solver).
+pub fn factoring_reliability(g: &UncertainGraph, terminals: &[VertexId]) -> f64 {
+    let t = g.validate_terminals(terminals).expect("invalid terminals");
+    if t.len() <= 1 {
+        return 1.0;
+    }
+    let n = g.num_vertices();
+    let mut tcnt = vec![0u32; n];
+    for &v in &t {
+        tcnt[v] = 1;
+    }
+    let state = FactorState {
+        edges: g.edges().iter().map(|e| (e.u, e.v, e.p)).collect(),
+        dsu: Dsu::new(n),
+        tcnt,
+        classes: t.len(),
+    };
+    factor(state)
+}
+
+fn factor(mut st: FactorState) -> f64 {
+    // Normalize: resolve roots, drop self-loops, merge parallels.
+    let mut merged: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for (u, v, p) in std::mem::take(&mut st.edges) {
+        let (ru, rv) = (st.dsu.find(u), st.dsu.find(v));
+        if ru == rv {
+            continue; // self-loop after contraction
+        }
+        let key = (ru.min(rv), ru.max(rv));
+        let q = merged.entry(key).or_insert(0.0);
+        // parallel rule: 1 - (1-a)(1-b)
+        *q = 1.0 - (1.0 - *q) * (1.0 - p);
+    }
+    st.edges = merged.into_iter().map(|((u, v), p)| (u, v, p)).collect();
+    st.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+    if st.classes <= 1 {
+        return 1.0; // all terminals already contracted together
+    }
+
+    // Degree bookkeeping for the reductions and for connectivity pruning.
+    let mut deg: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    for &(u, v, _) in &st.edges {
+        *deg.entry(u).or_insert(0) += 1;
+        *deg.entry(v).or_insert(0) += 1;
+    }
+
+    // Prune: a terminal class with no incident edges can never connect.
+    let incident: std::collections::HashSet<usize> = deg.keys().copied().collect();
+    for v in 0..st.tcnt.len() {
+        if st.tcnt[v] > 0 && st.dsu.find(v) == v && !incident.contains(&v) {
+            return 0.0;
+        }
+    }
+    if st.edges.is_empty() {
+        return if st.classes <= 1 { 1.0 } else { 0.0 };
+    }
+
+    // Series reduction: a non-terminal class of degree 2 contracts its two
+    // incident edges into one of probability p·q. (Applied one at a time;
+    // the recursion re-normalizes.)
+    for i in 0..st.edges.len() {
+        let (u, v, p) = st.edges[i];
+        for mid in [u, v] {
+            if st.tcnt[mid] == 0 && deg.get(&mid) == Some(&2) {
+                // find the other edge at `mid`
+                if let Some(j) = (0..st.edges.len())
+                    .find(|&j| j != i && (st.edges[j].0 == mid || st.edges[j].1 == mid))
+                {
+                    let (a, b, q) = st.edges[j];
+                    let other_i = if u == mid { v } else { u };
+                    let other_j = if a == mid { b } else { a };
+                    if other_i == other_j {
+                        continue; // triangle degenerate; let factoring handle it
+                    }
+                    let mut next = st.clone();
+                    next.edges.retain(|&(x, y, _)| {
+                        !((x, y) == (st.edges[i].0, st.edges[i].1)
+                            || (x, y) == (st.edges[j].0, st.edges[j].1))
+                    });
+                    next.edges.push((other_i.min(other_j), other_i.max(other_j), p * q));
+                    return factor(next);
+                }
+            }
+        }
+    }
+
+    // Factor on the highest-probability edge (classical pivot choice).
+    let (u, v, p) = *st
+        .edges
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("probabilities are comparable"))
+        .expect("nonempty edge set");
+
+    // Branch 1: edge exists — contract u into v.
+    let mut exist = st.clone();
+    exist.edges.retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
+    let (ru, rv) = (exist.dsu.find(u), exist.dsu.find(v));
+    let tu = exist.tcnt[ru];
+    let tv = exist.tcnt[rv];
+    let root = exist.dsu.union(ru, rv).expect("distinct classes merge");
+    exist.tcnt[root] = tu + tv;
+    if tu > 0 && tv > 0 {
+        exist.classes -= 1;
+    }
+    let r_exist = factor(exist);
+
+    // Branch 2: edge absent — delete it.
+    let mut absent = st;
+    absent.edges.retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
+    let r_absent = factor(absent);
+
+    p * r_exist + (1.0 - p) * r_absent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_reliability;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = UncertainGraph::new(2, [(0, 1, 0.3)]).unwrap();
+        assert!(close(factoring_reliability(&g, &[0, 1]), 0.3));
+    }
+
+    #[test]
+    fn series_and_parallel() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8)]).unwrap();
+        assert!(close(factoring_reliability(&g, &[0, 2]), 0.4));
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)]).unwrap();
+        let expect = 0.3 + 0.7 * 0.5 * 0.8;
+        assert!(close(factoring_reliability(&g, &[0, 2]), expect));
+    }
+
+    #[test]
+    fn figure1_fixture() {
+        let g = UncertainGraph::new(
+            5,
+            [(0, 1, 0.7), (0, 2, 0.7), (1, 2, 0.7), (1, 3, 0.7), (2, 4, 0.7), (3, 4, 0.7)],
+        )
+        .unwrap();
+        let t = vec![0, 3, 4];
+        assert!(close(factoring_reliability(&g, &t), brute_force_reliability(&g, &t)));
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
+        assert!(close(factoring_reliability(&g, &[0, 2]), 0.0));
+    }
+
+    #[test]
+    fn trivial_one() {
+        let g = UncertainGraph::new(2, [(0, 1, 0.1)]).unwrap();
+        assert!(close(factoring_reliability(&g, &[0]), 1.0));
+    }
+
+    #[test]
+    fn all_terminals_cycle() {
+        let p = 0.5f64;
+        let g = UncertainGraph::new(3, [(0, 1, p), (1, 2, p), (0, 2, p)]).unwrap();
+        let expect = p.powi(3) + 3.0 * p.powi(2) * (1.0 - p);
+        assert!(close(factoring_reliability(&g, &[0, 1, 2]), expect));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn agrees_with_brute_force(
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 0.05f64..1.0), 1..12),
+            t0 in 0usize..7,
+            t1 in 0usize..7,
+            t2 in 0usize..7,
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let list: Vec<(usize, usize, f64)> = edges
+                .into_iter()
+                .filter_map(|(u, v, p)| {
+                    if u == v { return None; }
+                    let key = (u.min(v), u.max(v));
+                    seen.insert(key).then_some((key.0, key.1, p))
+                })
+                .collect();
+            prop_assume!(!list.is_empty());
+            let g = UncertainGraph::new(7, list).unwrap();
+            let mut t = vec![t0, t1, t2];
+            t.sort_unstable();
+            t.dedup();
+            let expect = brute_force_reliability(&g, &t);
+            let got = factoring_reliability(&g, &t);
+            prop_assert!((got - expect).abs() < 1e-9, "{} vs {}", got, expect);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The frontier-based state machine for k-terminal reliability diagrams.
+//!
+//! Both the materialized BDD baseline ([`crate::full`]) and the S2BDD build
+//! on this machine. A *state* at layer `l` describes everything about an
+//! intermediate graph `G_E` (paper §3.1) that the remaining edges can
+//! observe: the partition of the live frontier vertices into connected
+//! components, plus each component's terminal count.
+//!
+//! Two facts make the encoding small and the paper's Lemma 4.3 sound:
+//!
+//! 1. Whether a terminal has been *seen* (touched by a processed edge) is a
+//!    property of the layer, not of the edge states, so the count of unseen
+//!    terminals is a per-layer constant (`unseen_after`).
+//! 2. Consequently a component contains **all** `k` terminals iff it is the
+//!    only component with a positive terminal count and no terminal is
+//!    unseen — exact terminal counts are needed only for the S2BDD's deletion
+//!    heuristic, never for sink decisions.
+//!
+//! Sink detection here subsumes the paper's Lemmas 4.1/4.2: a transition
+//! yields the 1-sink as soon as one live component holds every terminal
+//! (conditions 1–3 of Lemma 4.1 are the ways a merge can make that true), and
+//! the 0-sink as soon as a terminal-bearing component loses its last frontier
+//! vertex without being complete (conditions 1–3 of Lemma 4.2 are the ways
+//! that can happen, including the `d_{n,f} = 1` lookahead, which corresponds
+//! to the vertex leaving at this same layer).
+
+use netrel_ugraph::ordering::{EdgeOrder, FrontierPlan};
+use netrel_ugraph::{EdgeId, GraphError, UncertainGraph, VertexId};
+
+/// One edge in processing order, denormalized for builders.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerEdge {
+    /// Original edge id.
+    pub id: EdgeId,
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Existence probability.
+    pub p: f64,
+}
+
+/// Canonical frontier state: `comp[slot]` is the component id of the
+/// `slot`-th frontier vertex (frontier sorted by vertex id), ids numbered in
+/// first-occurrence order; `tcnt[c]` counts the terminals connected to
+/// component `c` (including terminals that already left the frontier inside
+/// it).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Component id per frontier slot.
+    pub comp: Vec<u16>,
+    /// Terminal count per component id.
+    pub tcnt: Vec<u32>,
+}
+
+impl State {
+    /// The empty state at layer 0.
+    pub fn root() -> Self {
+        State { comp: Vec::new(), tcnt: Vec::new() }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.tcnt.len()
+    }
+
+    /// Node-merging signature under `rule` (paper Lemma 4.3 for
+    /// [`MergeRule::Pattern`]). Two states with equal signatures transition
+    /// to the same sinks under any shared suffix of edge states.
+    pub fn signature(&self, rule: MergeRule, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.comp.len() * 2 + self.tcnt.len() * 4 + 1);
+        for &c in &self.comp {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.push(0xFF);
+        match rule {
+            MergeRule::Pattern => {
+                let mut byte = 0u8;
+                let mut nbits = 0;
+                for &t in &self.tcnt {
+                    byte = byte << 1 | (t > 0) as u8;
+                    nbits += 1;
+                    if nbits == 8 {
+                        out.push(byte);
+                        byte = 0;
+                        nbits = 0;
+                    }
+                }
+                if nbits > 0 {
+                    out.push(byte << (8 - nbits));
+                }
+            }
+            MergeRule::ExactCounts => {
+                for &t in &self.tcnt {
+                    out.extend_from_slice(&t.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Heap bytes used by this state (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.comp.len() * std::mem::size_of::<u16>()
+            + self.tcnt.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Node-merging rules (ablation: `ExactCounts` merges less, both are exact).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeRule {
+    /// Merge on component partition + has-terminal pattern (paper Lemma 4.3).
+    #[default]
+    Pattern,
+    /// Merge on component partition + exact terminal counts.
+    ExactCounts,
+}
+
+/// Result of applying one edge decision to a state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Transition {
+    /// All terminals are connected (1-sink).
+    One,
+    /// Some terminal can no longer reach the others (0-sink).
+    Zero,
+    /// Construction continues with this state at the next layer.
+    Next(State),
+}
+
+/// Reusable scratch buffers for [`FrontierMachine::apply`].
+#[derive(Default)]
+pub struct Scratch {
+    tcnt: Vec<u32>,
+    alive: Vec<bool>,
+    present: Vec<bool>,
+    renum: Vec<u16>,
+}
+
+/// Layer-by-layer frontier cursor over a `(graph, terminal set, edge order)`
+/// triple. Construction is `O(|V| + |E|)`; the cursor then advances one layer
+/// at a time while builders expand their node sets.
+#[derive(Clone, Debug)]
+pub struct FrontierMachine {
+    edges: Vec<LayerEdge>,
+    first_touch: Vec<usize>,
+    last_touch: Vec<usize>,
+    is_terminal: Vec<bool>,
+    k: usize,
+    unseen_after: Vec<usize>,
+    max_width: usize,
+    trivial: Option<f64>,
+    // Cursor state.
+    layer: usize,
+    cur: Vec<VertexId>,
+    next: Vec<VertexId>,
+    fdeg: Vec<u32>,
+}
+
+impl FrontierMachine {
+    /// Build the machine. Terminals are validated and deduplicated; `order`
+    /// seeds from the first terminal.
+    pub fn new(
+        g: &UncertainGraph,
+        terminals: &[VertexId],
+        order: EdgeOrder,
+    ) -> Result<Self, GraphError> {
+        let t = g.validate_terminals(terminals)?;
+        let plan = FrontierPlan::for_strategy(g, order, t[0]);
+        Ok(Self::with_plan(g, &t, plan))
+    }
+
+    /// Build the machine from a precomputed plan (terminals must be valid).
+    pub fn with_plan(g: &UncertainGraph, terminals: &[VertexId], plan: FrontierPlan) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut is_terminal = vec![false; n];
+        for &t in terminals {
+            is_terminal[t] = true;
+        }
+        let k = terminals.len();
+
+        let edges: Vec<LayerEdge> = plan
+            .order
+            .iter()
+            .map(|&id| {
+                let e = g.edge(id);
+                LayerEdge { id, u: e.u, v: e.v, p: e.p }
+            })
+            .collect();
+
+        // unseen_after[l] = #terminals whose first touch is after layer l.
+        let mut unseen_after = vec![0usize; m];
+        {
+            let mut firsts: Vec<usize> =
+                terminals.iter().map(|&t| plan.first_touch[t]).collect();
+            firsts.sort_unstable();
+            let mut seen = 0usize;
+            for l in 0..m {
+                while seen < firsts.len() && firsts[seen] <= l {
+                    seen += 1;
+                }
+                unseen_after[l] = k - seen;
+            }
+        }
+
+        let isolated_terminal =
+            terminals.iter().any(|&t| plan.first_touch[t] == usize::MAX);
+        let trivial = if k <= 1 {
+            Some(1.0)
+        } else if m == 0 || isolated_terminal {
+            Some(0.0)
+        } else {
+            None
+        };
+
+        let fdeg: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+        let mut machine = FrontierMachine {
+            edges,
+            first_touch: plan.first_touch,
+            last_touch: plan.last_touch,
+            is_terminal,
+            k,
+            unseen_after,
+            max_width: plan.max_width,
+            trivial,
+            layer: 0,
+            cur: Vec::new(),
+            next: Vec::new(),
+            fdeg,
+        };
+        machine.recompute_next();
+        machine
+    }
+
+    /// `Some(r)` when the reliability is decided without construction
+    /// (`k <= 1` → 1; an isolated terminal or an edgeless graph with
+    /// `k >= 2` → 0).
+    #[inline]
+    pub fn trivial(&self) -> Option<f64> {
+        self.trivial
+    }
+
+    /// Number of layers (= edges).
+    #[inline]
+    pub fn layers(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current layer (0-based).
+    #[inline]
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// Number of terminals.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum frontier width over all layers (from the plan).
+    #[inline]
+    pub fn max_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Terminal mask by vertex id.
+    #[inline]
+    pub fn terminal_mask(&self) -> &[bool] {
+        &self.is_terminal
+    }
+
+    /// All edges in processing order.
+    #[inline]
+    pub fn ordered_edges(&self) -> &[LayerEdge] {
+        &self.edges
+    }
+
+    /// The edge processed at the current layer.
+    #[inline]
+    pub fn current_edge(&self) -> LayerEdge {
+        self.edges[self.layer]
+    }
+
+    /// Frontier (sorted) before processing the current layer.
+    #[inline]
+    pub fn cur_frontier(&self) -> &[VertexId] {
+        &self.cur
+    }
+
+    /// Frontier (sorted) after processing the current layer; `Next` states
+    /// produced by [`Self::apply`] align with these slots.
+    #[inline]
+    pub fn next_frontier(&self) -> &[VertexId] {
+        &self.next
+    }
+
+    /// Number of terminals not yet touched after the current layer.
+    #[inline]
+    pub fn unseen_after_current(&self) -> usize {
+        self.unseen_after[self.layer]
+    }
+
+    /// Number of uncertain (not yet processed) edges incident to `v` after
+    /// the current layer — the ingredient of the paper's `d_{n,f}`.
+    #[inline]
+    pub fn future_degree_after_current(&self, v: VertexId) -> u32 {
+        let e = self.edges[self.layer];
+        let adjust = (e.u == v) as u32 + (e.v == v) as u32;
+        self.fdeg[v] - adjust
+    }
+
+    /// Move the cursor to the next layer.
+    pub fn advance(&mut self) {
+        let e = self.edges[self.layer];
+        self.fdeg[e.u] -= 1;
+        self.fdeg[e.v] -= 1;
+        self.layer += 1;
+        std::mem::swap(&mut self.cur, &mut self.next);
+        self.recompute_next();
+    }
+
+    /// Rebuild `next` from `cur` and the current layer's enter/leave events.
+    fn recompute_next(&mut self) {
+        self.next.clear();
+        self.next.extend_from_slice(&self.cur);
+        if self.layer >= self.edges.len() {
+            return;
+        }
+        let e = self.edges[self.layer];
+        for w in [e.u, e.v] {
+            if self.first_touch[w] == self.layer {
+                if let Err(pos) = self.next.binary_search(&w) {
+                    self.next.insert(pos, w);
+                }
+            }
+        }
+        for w in [e.u, e.v] {
+            if self.last_touch[w] == self.layer {
+                if let Ok(pos) = self.next.binary_search(&w) {
+                    self.next.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Component id of vertex `w` (an endpoint of the current edge) within
+    /// `state`, assigning fresh ids to entering vertices.
+    #[inline]
+    fn endpoint_comp(&self, state: &State, w: VertexId, fresh: &mut u16) -> u16 {
+        if self.first_touch[w] == self.layer {
+            let id = *fresh;
+            *fresh += 1;
+            id
+        } else {
+            let slot = self
+                .cur
+                .binary_search(&w)
+                .expect("endpoint with first_touch < layer must be in the frontier");
+            state.comp[slot]
+        }
+    }
+
+    /// Apply the current layer's edge decision (`take` = edge existent) to a
+    /// state aligned with [`Self::cur_frontier`]. Requires `k >= 1`.
+    pub fn apply(&self, state: &State, take: bool, scratch: &mut Scratch) -> Transition {
+        debug_assert!(self.k >= 1);
+        debug_assert_eq!(state.comp.len(), self.cur.len(), "state/frontier slot mismatch");
+        let e = self.edges[self.layer];
+
+        // Extended component table: existing comps plus entries for entering
+        // endpoints.
+        let mut fresh = state.tcnt.len() as u16;
+        let cu = self.endpoint_comp(state, e.u, &mut fresh);
+        let cv = self.endpoint_comp(state, e.v, &mut fresh);
+        let ext_len = fresh as usize;
+        scratch.tcnt.clear();
+        scratch.tcnt.extend_from_slice(&state.tcnt);
+        for w in [e.u, e.v] {
+            if self.first_touch[w] == self.layer {
+                scratch.tcnt.push(self.is_terminal[w] as u32);
+            }
+        }
+        debug_assert_eq!(scratch.tcnt.len(), ext_len);
+
+        // At most one merge per layer: remap `from` -> `to`.
+        let (mut from, mut to) = (u16::MAX, u16::MAX);
+        if take && cu != cv {
+            to = cu.min(cv);
+            from = cu.max(cv);
+            scratch.tcnt[to as usize] += scratch.tcnt[from as usize];
+        }
+        let map_id = |c: u16| if c == from { to } else { c };
+
+        // Present components after the merge: those referenced by any member
+        // of the extended vertex set (frontier slots + entering endpoints).
+        scratch.present.clear();
+        scratch.present.resize(ext_len, false);
+        for &c in &state.comp {
+            scratch.present[map_id(c) as usize] = true;
+        }
+        scratch.present[map_id(cu) as usize] = true;
+        scratch.present[map_id(cv) as usize] = true;
+
+        // 1-sink (Lemma 4.1): a single live flagged component and nothing
+        // unseen means every terminal is connected.
+        let flagged = scratch
+            .present
+            .iter()
+            .zip(&scratch.tcnt)
+            .filter(|&(&p, &t)| p && t > 0)
+            .count();
+        if flagged == 1 && self.unseen_after[self.layer] == 0 {
+            return Transition::One;
+        }
+
+        // Survival table: a component stays alive iff some non-leaving
+        // vertex references it.
+        scratch.alive.clear();
+        scratch.alive.resize(ext_len, false);
+        for (slot, &x) in self.cur.iter().enumerate() {
+            if self.last_touch[x] != self.layer {
+                scratch.alive[map_id(state.comp[slot]) as usize] = true;
+            }
+        }
+        for (w, c) in [(e.u, cu), (e.v, cv)] {
+            if self.first_touch[w] == self.layer && self.last_touch[w] != self.layer {
+                scratch.alive[map_id(c) as usize] = true;
+            }
+        }
+
+        // 0-sink (Lemma 4.2): a flagged component dies incomplete.
+        for (w, c) in [(e.u, cu), (e.v, cv)] {
+            if self.last_touch[w] == self.layer {
+                let cc = map_id(c) as usize;
+                if !scratch.alive[cc] && scratch.tcnt[cc] > 0 {
+                    return Transition::Zero;
+                }
+            }
+        }
+
+        // Canonicalize the surviving state over the next frontier.
+        scratch.renum.clear();
+        scratch.renum.resize(ext_len, u16::MAX);
+        let mut comp = Vec::with_capacity(self.next.len());
+        let mut tcnt = Vec::new();
+        for &x in &self.next {
+            let c = if self.first_touch[x] == self.layer {
+                // x is an entering endpoint of e.
+                map_id(if x == e.u { cu } else { cv })
+            } else {
+                let slot = self
+                    .cur
+                    .binary_search(&x)
+                    .expect("surviving vertex was in the frontier");
+                map_id(state.comp[slot])
+            } as usize;
+            let new_id = if scratch.renum[c] == u16::MAX {
+                let id = tcnt.len() as u16;
+                scratch.renum[c] = id;
+                tcnt.push(scratch.tcnt[c]);
+                id
+            } else {
+                scratch.renum[c]
+            };
+            comp.push(new_id);
+        }
+        Transition::Next(State { comp, tcnt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(g: &UncertainGraph, t: &[usize]) -> FrontierMachine {
+        FrontierMachine::new(g, t, EdgeOrder::Input).unwrap()
+    }
+
+    /// Exhaustively expand the machine and sum path probabilities into the
+    /// 1-sink — a reference mini-solver used to validate transitions.
+    fn expand_reliability(g: &UncertainGraph, terminals: &[usize]) -> f64 {
+        let mut m = machine(g, terminals);
+        if let Some(r) = m.trivial() {
+            return r;
+        }
+        let mut scratch = Scratch::default();
+        let mut states: Vec<(State, f64)> = vec![(State::root(), 1.0)];
+        let mut pc = 0.0;
+        for _ in 0..m.layers() {
+            let e = m.current_edge();
+            let mut next: Vec<(State, f64)> = Vec::new();
+            for (s, prob) in &states {
+                for (take, w) in [(false, 1.0 - e.p), (true, e.p)] {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    match m.apply(s, take, &mut scratch) {
+                        Transition::One => pc += prob * w,
+                        Transition::Zero => {}
+                        Transition::Next(ns) => next.push((ns, prob * w)),
+                    }
+                }
+            }
+            states = next;
+            m.advance();
+        }
+        assert!(states.iter().all(|(s, _)| s.comp.is_empty()));
+        pc
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.5)]).unwrap();
+        assert_eq!(machine(&g, &[1]).trivial(), Some(1.0));
+        // Vertex 2 is isolated: k=2 with an isolated terminal is zero.
+        assert_eq!(machine(&g, &[0, 2]).trivial(), Some(0.0));
+        let empty = UncertainGraph::new(2, []).unwrap();
+        assert_eq!(machine(&empty, &[0, 1]).trivial(), Some(0.0));
+    }
+
+    #[test]
+    fn single_edge_reliability() {
+        let g = UncertainGraph::new(2, [(0, 1, 0.3)]).unwrap();
+        assert!((expand_reliability(&g, &[0, 1]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_and_triangle() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8)]).unwrap();
+        assert!((expand_reliability(&g, &[0, 2]) - 0.4).abs() < 1e-12);
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8), (0, 2, 0.3)]).unwrap();
+        let expect = 0.3 + 0.7 * 0.5 * 0.8;
+        assert!((expand_reliability(&g, &[0, 2]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixtures() {
+        let fixtures: Vec<(UncertainGraph, Vec<usize>)> = vec![
+            (
+                UncertainGraph::new(
+                    5,
+                    [
+                        (0, 1, 0.7),
+                        (0, 2, 0.7),
+                        (1, 2, 0.7),
+                        (1, 3, 0.7),
+                        (2, 4, 0.7),
+                        (3, 4, 0.7),
+                    ],
+                )
+                .unwrap(),
+                vec![0, 3, 4],
+            ),
+            (
+                UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.4), (3, 0, 0.6)])
+                    .unwrap(),
+                vec![0, 2],
+            ),
+            (
+                UncertainGraph::new(6, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (3, 4, 0.8), (4, 5, 0.9)])
+                    .unwrap(),
+                vec![0, 5],
+            ),
+        ];
+        for (g, t) in fixtures {
+            let expect = crate::brute::brute_force_reliability(&g, &t);
+            let got = expand_reliability(&g, &t);
+            assert!((got - expect).abs() < 1e-12, "got {got}, expect {expect}");
+        }
+    }
+
+    #[test]
+    fn disconnected_terminals_resolve_to_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
+        assert_eq!(expand_reliability(&g, &[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn signature_pattern_vs_exact() {
+        let a = State { comp: vec![0, 0, 1], tcnt: vec![2, 1] };
+        let b = State { comp: vec![0, 0, 1], tcnt: vec![1, 2] };
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        a.signature(MergeRule::Pattern, &mut sa);
+        b.signature(MergeRule::Pattern, &mut sb);
+        assert_eq!(sa, sb, "pattern rule merges differing counts");
+        a.signature(MergeRule::ExactCounts, &mut sa);
+        b.signature(MergeRule::ExactCounts, &mut sb);
+        assert_ne!(sa, sb, "exact rule distinguishes counts");
+    }
+
+    #[test]
+    fn signature_distinguishes_partitions() {
+        let a = State { comp: vec![0, 1], tcnt: vec![1, 1] };
+        let b = State { comp: vec![0, 0], tcnt: vec![2] };
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        a.signature(MergeRule::Pattern, &mut sa);
+        b.signature(MergeRule::Pattern, &mut sb);
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn future_degree_tracks_layers() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+        let mut m = machine(&g, &[0, 2]);
+        // During layer 0 (edge (0,1)): after it, vertex 1 still has edge (1,2).
+        assert_eq!(m.future_degree_after_current(1), 1);
+        assert_eq!(m.future_degree_after_current(0), 0);
+        m.advance();
+        assert_eq!(m.future_degree_after_current(1), 0);
+        assert_eq!(m.future_degree_after_current(2), 0);
+    }
+
+    #[test]
+    fn frontier_evolution() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]).unwrap();
+        let mut m = machine(&g, &[0, 3]);
+        assert_eq!(m.cur_frontier(), &[] as &[usize]);
+        assert_eq!(m.next_frontier(), &[1]); // 0 enters and leaves at layer 0
+        m.advance();
+        assert_eq!(m.cur_frontier(), &[1]);
+        assert_eq!(m.next_frontier(), &[2]);
+        m.advance();
+        assert_eq!(m.cur_frontier(), &[2]);
+        assert_eq!(m.next_frontier(), &[] as &[usize]);
+    }
+}

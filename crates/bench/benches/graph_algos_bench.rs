@@ -1,0 +1,45 @@
+//! Microbenchmarks: the graph-algorithm substrate (union-find, bridges,
+//! 2ECC, frontier planning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrel_datasets::Dataset;
+use netrel_ugraph::bridges::cut_structure;
+use netrel_ugraph::ordering::{EdgeOrder, FrontierPlan};
+use netrel_ugraph::twoecc::two_edge_connected_components;
+use netrel_ugraph::Dsu;
+
+fn bench_graph_algos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_algos");
+
+    group.bench_function("dsu_union_find_100k", |b| {
+        b.iter(|| {
+            let mut d = Dsu::new(100_000);
+            for i in 0..99_999 {
+                d.union(i, i + 1);
+            }
+            d.find(0)
+        });
+    });
+
+    for (name, ds, scale) in [
+        ("tokyo", Dataset::Tokyo, 0.05),
+        ("dblp1", Dataset::Dblp1, 0.05),
+        ("hitd", Dataset::HitD, 0.02),
+    ] {
+        let g = ds.generate(scale, 1);
+        group.bench_with_input(BenchmarkId::new("bridges", name), &g, |b, g| {
+            b.iter(|| cut_structure(g));
+        });
+        let cut = cut_structure(&g);
+        group.bench_with_input(BenchmarkId::new("twoecc", name), &g, |b, g| {
+            b.iter(|| two_edge_connected_components(g, &cut));
+        });
+        group.bench_with_input(BenchmarkId::new("frontier_plan_bfs", name), &g, |b, g| {
+            b.iter(|| FrontierPlan::for_strategy(g, EdgeOrder::Bfs, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_algos);
+criterion_main!(benches);

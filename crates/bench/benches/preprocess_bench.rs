@@ -1,0 +1,29 @@
+//! Microbenchmarks: the extension technique end to end (Table 5's time
+//! column as a statistically sound measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrel_bench::random_terminals;
+use netrel_datasets::Dataset;
+use netrel_preprocess::{preprocess, PreprocessConfig};
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    for (name, ds, scale) in [
+        ("karate", Dataset::Karate, 1.0),
+        ("amrv", Dataset::AmRv, 1.0),
+        ("dblp1", Dataset::Dblp1, 0.05),
+        ("tokyo", Dataset::Tokyo, 0.05),
+        ("nyc", Dataset::Nyc, 0.02),
+        ("hitd", Dataset::HitD, 0.02),
+    ] {
+        let g = ds.generate(scale, 1);
+        let t = random_terminals(&g, 10.min(g.num_vertices() / 3).max(2), 3);
+        group.bench_with_input(BenchmarkId::new("full_pipeline", name), &g, |b, g| {
+            b.iter(|| preprocess(g, &t, PreprocessConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks: S2BDD solve cost — exact on Karate, width-bounded on a
+//! road network, and the merge-rule ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrel_bdd::frontier::MergeRule;
+use netrel_datasets::Dataset;
+use netrel_s2bdd::{S2Bdd, S2BddConfig};
+
+fn bench_s2bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s2bdd");
+    group.sample_size(10);
+
+    // The karate *core* (vertices 0..22 induced): full-karate exact diagrams
+    // reach ~1.5M states per layer, far too slow for a microbenchmark.
+    let karate = {
+        let g = Dataset::Karate.generate(1.0, 1);
+        let keep: Vec<bool> = (0..g.num_vertices()).map(|v| v < 22).collect();
+        g.induced_subgraph(&keep).0
+    };
+    let kt = vec![0usize, 16, 21];
+    for rule in [MergeRule::Pattern, MergeRule::ExactCounts] {
+        group.bench_with_input(
+            BenchmarkId::new("karate_core_exact", format!("{rule:?}")),
+            &karate,
+            |b, g| {
+                let cfg = S2BddConfig { merge_rule: rule, ..S2BddConfig::exact() };
+                b.iter(|| S2Bdd::solve(g, &kt, cfg).unwrap());
+            },
+        );
+    }
+
+    let tokyo = Dataset::Tokyo.generate(0.02, 1);
+    let tt = vec![5usize, 100, 300, 450, 511];
+    for w in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("tokyo_bounded", w), &tokyo, |b, g| {
+            let cfg = S2BddConfig { max_width: w, samples: 1_000, ..Default::default() };
+            b.iter(|| S2Bdd::solve(g, &tt, cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_s2bdd);
+criterion_main!(benches);

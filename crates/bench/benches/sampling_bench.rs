@@ -1,0 +1,32 @@
+//! Microbenchmarks: possible-world sampling throughput (the baseline's hot
+//! path) for MC and HT draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netrel_datasets::Dataset;
+use netrel_ugraph::WorldSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_world_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_sampling");
+    for (name, g, t) in [
+        ("karate", Dataset::Karate.generate(1.0, 1), vec![0usize, 16, 33]),
+        ("dblp1_2pc", Dataset::Dblp1.generate(0.02, 1), vec![3usize, 99, 200]),
+        ("tokyo_2pc", Dataset::Tokyo.generate(0.02, 1), vec![3usize, 99, 200]),
+    ] {
+        group.bench_with_input(BenchmarkId::new("mc_early_exit", name), &g, |b, g| {
+            let mut s = WorldSampler::new(g.num_vertices());
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| s.sample_connected(g, &t, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("ht_full_world", name), &g, |b, g| {
+            let mut s = WorldSampler::new(g.num_vertices());
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| s.sample_world_full(g, &t, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_sampling);
+criterion_main!(benches);

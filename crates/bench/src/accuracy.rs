@@ -1,0 +1,148 @@
+//! Shared protocol for the accuracy experiments (paper §7.6, Tables 3–4).
+//!
+//! Generate `q1` random searches; compute each search's exact reliability;
+//! run each method `q2` times with fresh seeds; report the paper's variance
+//! and error-rate metrics.
+
+use crate::{random_terminals, RunArgs};
+use netrel_core::prelude::*;
+use netrel_datasets::Dataset;
+use netrel_numeric::accuracy;
+use serde::Serialize;
+
+/// Accuracy protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AccuracyConfig {
+    /// Number of searches (`q1`).
+    pub q1: usize,
+    /// Runs per search (`q2`).
+    pub q2: usize,
+    /// Sample budget per run.
+    pub samples: usize,
+    /// S2BDD width for the Pro methods.
+    pub width: usize,
+}
+
+impl AccuracyConfig {
+    /// Paper-fidelity (`q1 = q2 = 100`) or quick (`20 × 20`) settings.
+    pub fn for_args(args: &RunArgs) -> Self {
+        if args.full {
+            AccuracyConfig { q1: 100, q2: 100, samples: 10_000, width: 10_000 }
+        } else {
+            AccuracyConfig { q1: 6, q2: 10, samples: 1_000, width: 10_000 }
+        }
+    }
+}
+
+/// One method's accuracy row.
+#[derive(Clone, Debug, Serialize)]
+pub struct MethodRow {
+    /// Terminal count.
+    pub k: usize,
+    /// Method label, paper notation.
+    pub method: String,
+    /// Paper variance metric.
+    pub variance: f64,
+    /// Paper error-rate metric.
+    pub error_rate: f64,
+    /// How many of the `q1 × q2` Pro runs were exact.
+    pub exact_runs: usize,
+}
+
+/// The four methods of Tables 3–4.
+const METHODS: [(&str, bool, EstimatorKind); 4] = [
+    ("Pro(MC)", true, EstimatorKind::MonteCarlo),
+    ("Pro(HT)", true, EstimatorKind::HorvitzThompson),
+    ("Sampling(MC)", false, EstimatorKind::MonteCarlo),
+    ("Sampling(HT)", false, EstimatorKind::HorvitzThompson),
+];
+
+/// Run the full protocol for one dataset at each k in `ks`.
+pub fn run_accuracy(ds: Dataset, ks: &[usize], args: &RunArgs, cfg: AccuracyConfig) -> Vec<MethodRow> {
+    let g = ds.generate(1.0, args.seed);
+    let mut rows = Vec::new();
+    for &k in ks {
+        // Exact ground truth per search.
+        let searches: Vec<(Vec<usize>, f64)> = (0..cfg.q1)
+            .map(|i| {
+                let t = random_terminals(&g, k, args.seed ^ ((i as u64) << 32) | k as u64);
+                let exact = exact_reliability(&g, &t).expect("small dataset is exactly solvable");
+                (t, exact)
+            })
+            .collect();
+
+        for (name, is_pro, estimator) in METHODS {
+            let mut per_search: Vec<(f64, Vec<f64>)> = Vec::with_capacity(cfg.q1);
+            let mut exact_runs = 0usize;
+            for (si, (t, exact)) in searches.iter().enumerate() {
+                let mut estimates = Vec::with_capacity(cfg.q2);
+                for run in 0..cfg.q2 {
+                    let seed = args.seed
+                        ^ ((si as u64) << 40)
+                        ^ ((run as u64) << 20)
+                        ^ (k as u64);
+                    let est = if is_pro {
+                        let r = pro_reliability(
+                            &g,
+                            t,
+                            ProConfig {
+                                s2bdd: S2BddConfig {
+                                    samples: cfg.samples,
+                                    max_width: cfg.width,
+                                    estimator,
+                                    seed,
+                                    ..Default::default()
+                                },
+                                ..Default::default()
+                            },
+                        )
+                        .expect("valid instance");
+                        exact_runs += r.exact as usize;
+                        r.estimate
+                    } else {
+                        sample_reliability(
+                            &g,
+                            t,
+                            SamplingConfig {
+                                samples: cfg.samples,
+                                estimator,
+                                seed,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("valid instance")
+                        .estimate
+                    };
+                    estimates.push(est);
+                }
+                per_search.push((*exact, estimates));
+            }
+            let rep = accuracy(&per_search);
+            rows.push(MethodRow {
+                k,
+                method: name.to_string(),
+                variance: rep.variance,
+                error_rate: rep.error_rate,
+                exact_runs,
+            });
+        }
+    }
+    rows
+}
+
+/// Print rows in the paper's table layout.
+pub fn print_rows(title: &str, rows: &[MethodRow], cfg: AccuracyConfig) {
+    println!("{title} (q1 = {}, q2 = {}, s = {}, w = {})\n", cfg.q1, cfg.q2, cfg.samples, cfg.width);
+    println!("{:>4} {:<14} {:>14} {:>12} {:>12}", "k", "Method", "Variance", "Error rate", "exact runs");
+    let mut last_k = usize::MAX;
+    for r in rows {
+        if r.k != last_k {
+            println!("{}", "-".repeat(62));
+            last_k = r.k;
+        }
+        println!(
+            "{:>4} {:<14} {:>14.3e} {:>12.4} {:>12}",
+            r.k, r.method, r.variance, r.error_rate, r.exact_runs
+        );
+    }
+}

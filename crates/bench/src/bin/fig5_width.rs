@@ -1,0 +1,59 @@
+//! Figure 5 — effect of the maximum S2BDD width w: (a) peak memory of the
+//! S2BDD layer and (b) response time, for w ∈ {1K, 10K, 100K, 1M}
+//! (k = 10, s = 10 000).
+
+use netrel_bench::{fmt_bytes, fmt_secs, maybe_dump_json, parse_args, random_terminals, time};
+use netrel_core::prelude::*;
+use netrel_datasets::Dataset;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    width: usize,
+    peak_memory_bytes: usize,
+    secs: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let k = 10usize;
+    let s = 10_000usize;
+    // One decade lower in quick mode: the scaled graphs saturate smaller
+    // widths, and w = 100k+ on the dense stand-in dominates the whole run.
+    let widths: &[usize] = if args.full {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        &[300, 3_000, 30_000]
+    };
+    println!("Figure 5: effect of max width (k = {k}, s = {s}, scale = {})\n", args.scale);
+    println!("{:<8} {:>10} {:>14} {:>12}", "dataset", "w", "peak memory", "time");
+    let mut rows = Vec::new();
+    for ds in Dataset::LARGE {
+        let g = ds.generate(args.scale, args.seed);
+        for &w in widths {
+            let mut mem = 0usize;
+            let mut secs = 0.0f64;
+            for search in 0..args.searches {
+                let t = random_terminals(&g, k, args.seed ^ (search as u64) << 24 | w as u64);
+                let cfg = ProConfig {
+                    s2bdd: S2BddConfig { samples: s, max_width: w, seed: args.seed, ..Default::default() },
+                    ..Default::default()
+                };
+                let (r, dt) = time(|| pro_reliability(&g, &t, cfg).unwrap());
+                secs += dt;
+                mem = mem.max(r.parts.iter().map(|p| p.peak_memory_bytes).max().unwrap_or(0));
+            }
+            let secs = secs / args.searches as f64;
+            println!("{:<8} {:>10} {:>14} {:>12}", ds.to_string(), w, fmt_bytes(mem), fmt_secs(secs));
+            rows.push(Row { dataset: ds.to_string(), width: w, peak_memory_bytes: mem, secs });
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper Fig. 5): memory grows with w (and is independent\n\
+         of graph size); response time is comparatively flat — larger widths\n\
+         trade construction cost against fewer samples."
+    );
+    maybe_dump_json(&args, &rows);
+}

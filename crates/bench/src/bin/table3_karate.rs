@@ -1,0 +1,18 @@
+//! Table 3 — accuracy on the Karate dataset: variance and error rate of
+//! Pro(MC)/Pro(HT) vs Sampling(MC)/Sampling(HT) at k ∈ {5, 10, 20}.
+
+use netrel_bench::accuracy::{print_rows, run_accuracy, AccuracyConfig};
+use netrel_bench::{maybe_dump_json, parse_args};
+use netrel_datasets::Dataset;
+
+fn main() {
+    let args = parse_args();
+    let cfg = AccuracyConfig::for_args(&args);
+    let rows = run_accuracy(Dataset::Karate, &[5, 10, 20], &args, cfg);
+    print_rows("Table 3: accuracy on Karate", &rows, cfg);
+    println!(
+        "\nExpected shape (paper): Pro slightly more accurate than Sampling; MC\n\
+         marginally better than HT (sampling is with replacement)."
+    );
+    maybe_dump_json(&args, &rows);
+}

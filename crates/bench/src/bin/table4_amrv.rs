@@ -1,0 +1,19 @@
+//! Table 4 — accuracy on the Am-Rv dataset: Pro computes the *exact*
+//! reliability (variance = error rate = 0) while flat sampling degrades
+//! catastrophically at k = 20 (error rate → 1).
+
+use netrel_bench::accuracy::{print_rows, run_accuracy, AccuracyConfig};
+use netrel_bench::{maybe_dump_json, parse_args};
+use netrel_datasets::Dataset;
+
+fn main() {
+    let args = parse_args();
+    let cfg = AccuracyConfig::for_args(&args);
+    let rows = run_accuracy(Dataset::AmRv, &[5, 10, 20], &args, cfg);
+    print_rows("Table 4: accuracy on Am-Rv", &rows, cfg);
+    println!(
+        "\nExpected shape (paper): Pro rows all zero (exact); Sampling error rate\n\
+         approaches 1.0 at k = 20 because the tiny reliabilities are never hit."
+    );
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,49 @@
+//! Table 5 — effect of the extension technique: preprocessing time and the
+//! reduced graph size (largest decomposed part / original edges) for every
+//! dataset.
+
+use netrel_bench::{fmt_secs, maybe_dump_json, parse_args, random_terminals, time};
+use netrel_datasets::Dataset;
+use netrel_preprocess::{preprocess, PreprocessConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    process_secs: f64,
+    reduced_ratio: f64,
+    parts: usize,
+}
+
+fn main() {
+    let args = parse_args();
+    let k = 10usize;
+    println!("Table 5: extension technique (k = {k}, scale = {})\n", args.scale);
+    println!("{:<8} {:>14} {:>20} {:>8}", "dataset", "process time", "reduced graph size", "parts");
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let scale = if ds.is_large() { args.scale } else { 1.0 };
+        let g = ds.generate(scale, args.seed);
+        let mut secs = 0.0;
+        let mut ratio = 0.0;
+        let mut parts = 0usize;
+        for search in 0..args.searches {
+            let kk = k.min(g.num_vertices() / 2).max(2);
+            let t = random_terminals(&g, kk, args.seed ^ (search as u64) << 12);
+            let (pre, dt) = time(|| preprocess(&g, &t, PreprocessConfig::default()).unwrap());
+            secs += dt;
+            ratio += pre.stats.reduced_ratio;
+            parts = parts.max(pre.stats.num_parts);
+        }
+        let n = args.searches as f64;
+        let (secs, ratio) = (secs / n, ratio / n);
+        println!("{:<8} {:>14} {:>20.3} {:>8}", ds.to_string(), fmt_secs(secs), ratio, parts);
+        rows.push(Row { dataset: ds.to_string(), process_secs: secs, reduced_ratio: ratio, parts });
+    }
+    println!(
+        "\nExpected shape (paper Table 5): road networks shrink hardest (Tokyo\n\
+         0.43, NYC 0.28), dense graphs barely (DBLP1 0.95, Hit-d 0.98), Am-Rv\n\
+         collapses (0.12); preprocessing time is negligible vs solving."
+    );
+    maybe_dump_json(&args, &rows);
+}

@@ -1,0 +1,47 @@
+//! # network-reliability core
+//!
+//! Public API for k-terminal network reliability in uncertain graphs,
+//! reproducing *"Efficient Network Reliability Computation in Uncertain
+//! Graphs"* (Sasaki, Fujiwara, Onizuka — EDBT 2019).
+//!
+//! Three solver families:
+//!
+//! * [`sampling`] — the classical Monte Carlo / Horvitz–Thompson possible-
+//!   world samplers (the paper's `Sampling(MC)` / `Sampling(HT)` baselines),
+//! * [`pro`] — the paper's approach (`Pro`): preprocessing via 2-edge-
+//!   connected components, then one width-bounded S2BDD per decomposed
+//!   component, with bound-driven sample reduction (Algorithm 1),
+//! * [`exact`] — exact reliability via the unbounded S2BDD (small graphs) or
+//!   brute-force enumeration (tiny graphs).
+//!
+//! ```
+//! use netrel_core::prelude::*;
+//!
+//! // A 4-cycle with flaky edges; how reliably are opposite corners connected?
+//! let g = UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9), (3, 0, 0.9)]).unwrap();
+//! let exact = exact_reliability(&g, &[0, 2]).unwrap();
+//! let approx = pro_reliability(&g, &[0, 2], ProConfig::default()).unwrap();
+//! assert!((approx.estimate - exact).abs() < 0.05);
+//! assert!(approx.lower_bound <= exact && exact <= approx.upper_bound);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod pro;
+pub mod sampling;
+
+pub use exact::exact_reliability;
+pub use pro::{pro_reliability, st_reliability, ProConfig, ProResult};
+pub use sampling::{sample_reliability, SamplingConfig, SamplingResult};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::exact::exact_reliability;
+    pub use crate::pro::{pro_reliability, st_reliability, ProConfig, ProResult};
+    pub use crate::sampling::{sample_reliability, SamplingConfig, SamplingResult};
+    pub use netrel_preprocess::{preprocess, PreprocessConfig};
+    pub use netrel_s2bdd::{EstimatorKind, S2Bdd, S2BddConfig, S2BddResult};
+    pub use netrel_ugraph::{GraphError, UncertainGraph};
+}

@@ -1,0 +1,247 @@
+//! The sampling-based baseline (paper §3.2.2): `Sampling(MC)` and
+//! `Sampling(HT)`.
+//!
+//! Draws `s` possible worlds and estimates `R` with either the Monte Carlo
+//! mean or the Horvitz–Thompson estimator over distinct worlds. Sampling is
+//! embarrassingly parallel; `threads = 1` by default so benchmark comparisons
+//! against the (single-threaded) S2BDD stay apples-to-apples.
+
+use netrel_s2bdd::EstimatorKind;
+use netrel_ugraph::{GraphError, UncertainGraph, VertexId, WorldSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the flat sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingConfig {
+    /// Number of possible worlds to draw.
+    pub samples: usize,
+    /// Estimator.
+    pub estimator: EstimatorKind,
+    /// RNG seed (deterministic results for a fixed seed and thread count).
+    pub seed: u64,
+    /// Worker threads; `0` = all available cores, `1` = sequential (default).
+    pub threads: usize,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            samples: 10_000,
+            estimator: EstimatorKind::MonteCarlo,
+            seed: 0x5eed,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of a flat sampling run.
+#[derive(Clone, Debug)]
+pub struct SamplingResult {
+    /// Estimated reliability.
+    pub estimate: f64,
+    /// Samples drawn.
+    pub samples: usize,
+    /// Connected samples.
+    pub hits: usize,
+    /// Estimator variance: `R̂(1−R̂)/s` for MC (paper Eq. 2), the simplified
+    /// HT variance (paper Eq. 8) otherwise.
+    pub variance_estimate: f64,
+}
+
+/// Estimate `R[G, T]` by flat possible-world sampling.
+pub fn sample_reliability(
+    g: &UncertainGraph,
+    terminals: &[VertexId],
+    cfg: SamplingConfig,
+) -> Result<SamplingResult, GraphError> {
+    let t = g.validate_terminals(terminals)?;
+    if t.len() <= 1 {
+        return Ok(SamplingResult {
+            estimate: 1.0,
+            samples: 0,
+            hits: 0,
+            variance_estimate: 0.0,
+        });
+    }
+    let threads = match cfg.threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+    .max(1)
+    .min(cfg.samples.max(1));
+
+    // Per-chunk sample counts (difference of prefix shares: sums to `samples`).
+    let chunk_of = |i: usize| cfg.samples * (i + 1) / threads - cfg.samples * i / threads;
+
+    match cfg.estimator {
+        EstimatorKind::MonteCarlo => {
+            let hits: usize = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for i in 0..threads {
+                    let t = &t;
+                    handles.push(scope.spawn(move || {
+                        let mut sampler = WorldSampler::new(g.num_vertices());
+                        let mut rng =
+                            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        (0..chunk_of(i))
+                            .filter(|_| sampler.sample_connected(g, t, &mut rng))
+                            .count()
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).sum()
+            });
+            let s = cfg.samples.max(1) as f64;
+            let estimate = hits as f64 / s;
+            Ok(SamplingResult {
+                estimate,
+                samples: cfg.samples,
+                hits,
+                variance_estimate: estimate * (1.0 - estimate) / s,
+            })
+        }
+        EstimatorKind::HorvitzThompson => {
+            let records: Vec<(bool, f64, u64)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for i in 0..threads {
+                    let t = &t;
+                    handles.push(scope.spawn(move || {
+                        let mut sampler = WorldSampler::new(g.num_vertices());
+                        let mut rng =
+                            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        (0..chunk_of(i))
+                            .map(|_| sampler.sample_world_full(g, t, &mut rng))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sampler thread panicked"))
+                    .collect()
+            });
+            let s = cfg.samples.max(1) as f64;
+            let hits = records.iter().filter(|r| r.0).count();
+            let mut seen = std::collections::HashSet::new();
+            let mut estimate = 0.0f64;
+            let mut var_correction = 0.0f64;
+            for &(connected, ln_q, hash) in &records {
+                if !connected || !seen.insert(hash) {
+                    continue;
+                }
+                estimate += ht_weight(ln_q, s);
+                let q = ln_q.exp();
+                var_correction += (s - 1.0) * q * q / (2.0 * s);
+            }
+            let estimate = estimate.clamp(0.0, 1.0);
+            // Paper Eq. 8: R(1-R)/s − Σ (s−1) I Pr² / (2s).
+            let variance = (estimate * (1.0 - estimate) / s - var_correction).max(0.0);
+            Ok(SamplingResult {
+                estimate,
+                samples: cfg.samples,
+                hits,
+                variance_estimate: variance,
+            })
+        }
+    }
+}
+
+/// Horvitz–Thompson weight `q / π` with `π = 1 − (1 − q)^s`, computed stably.
+/// For worlds far below f64 resolution the limit `1/s` is exact to first
+/// order, which is also why HT degenerates to MC on large graphs.
+fn ht_weight(ln_q: f64, s: f64) -> f64 {
+    let q = ln_q.exp();
+    if q < 1e-12 {
+        return 1.0 / s;
+    }
+    let pi = -((-q).ln_1p() * s).exp_m1();
+    if pi > 0.0 {
+        q / pi
+    } else {
+        1.0 / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrel_bdd::brute_force_reliability;
+
+    fn bridge_graph() -> (UncertainGraph, Vec<usize>) {
+        let g = UncertainGraph::new(
+            4,
+            [(0, 1, 0.8), (1, 2, 0.7), (2, 3, 0.9), (0, 3, 0.5), (1, 3, 0.6)],
+        )
+        .unwrap();
+        (g, vec![0, 2])
+    }
+
+    #[test]
+    fn mc_converges_to_truth() {
+        let (g, t) = bridge_graph();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = SamplingConfig { samples: 200_000, seed: 1, ..Default::default() };
+        let r = sample_reliability(&g, &t, cfg).unwrap();
+        assert!((r.estimate - exact).abs() < 0.01, "{} vs {exact}", r.estimate);
+        assert!(r.variance_estimate > 0.0);
+    }
+
+    #[test]
+    fn ht_converges_to_truth() {
+        let (g, t) = bridge_graph();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = SamplingConfig {
+            samples: 100_000,
+            estimator: EstimatorKind::HorvitzThompson,
+            seed: 2,
+            ..Default::default()
+        };
+        let r = sample_reliability(&g, &t, cfg).unwrap();
+        assert!((r.estimate - exact).abs() < 0.03, "{} vs {exact}", r.estimate);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_determinism() {
+        let (g, t) = bridge_graph();
+        let base = SamplingConfig { samples: 10_000, seed: 7, ..Default::default() };
+        let a = sample_reliability(&g, &t, base).unwrap();
+        let b = sample_reliability(&g, &t, base).unwrap();
+        assert_eq!(a.hits, b.hits, "same seed, same thread count → same draw");
+        let par = sample_reliability(
+            &g,
+            &t,
+            SamplingConfig { threads: 4, ..base },
+        )
+        .unwrap();
+        // Different thread count changes the stream but not the quality.
+        assert!((par.estimate - a.estimate).abs() < 0.05);
+    }
+
+    #[test]
+    fn trivial_terminals() {
+        let (g, _) = bridge_graph();
+        let r = sample_reliability(&g, &[2], SamplingConfig::default()).unwrap();
+        assert_eq!(r.estimate, 1.0);
+        assert_eq!(r.samples, 0);
+    }
+
+    #[test]
+    fn ht_weight_asymptotics() {
+        // Large q: exact formula.
+        let s = 100.0;
+        let q: f64 = 0.3;
+        let w = ht_weight(q.ln(), s);
+        assert!((w - q / (1.0 - (1.0 - q).powf(s))).abs() < 1e-12);
+        // Tiny q: limit 1/s, even when exp(ln_q) underflows.
+        assert!((ht_weight(-1e6, s) - 1.0 / s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_probability_like_graphs() {
+        // Disconnected terminals: estimate must be 0 whatever the seed.
+        let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
+        let cfg = SamplingConfig { samples: 1000, seed: 5, ..Default::default() };
+        let r = sample_reliability(&g, &[0, 2], cfg).unwrap();
+        assert_eq!(r.estimate, 0.0);
+        assert_eq!(r.hits, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Barabási–Albert preferential attachment.
+
+use super::WeightedEdges;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Preferential-attachment graph: each new vertex attaches to `m_per`
+/// distinct existing vertices chosen proportionally to degree. Connected by
+/// construction; weights are 1.
+pub fn barabasi_albert(n: usize, m_per: usize, seed: u64) -> WeightedEdges {
+    assert!(n >= 2 && m_per >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: WeightedEdges = Vec::with_capacity(n * m_per);
+    // Repeated-endpoint urn: sampling an index uniformly from `urn` is
+    // degree-proportional sampling.
+    let mut urn: Vec<usize> = vec![0, 1];
+    edges.push((0, 1, 1.0));
+    for v in 2..n {
+        // BTreeSet: deterministic iteration order for a deterministic graph.
+        let mut targets = std::collections::BTreeSet::new();
+        let want = m_per.min(v);
+        let mut guard = 0;
+        while targets.len() < want && guard < 1000 {
+            guard += 1;
+            let t = urn[rng.gen_range(0..urn.len())];
+            targets.insert(t);
+        }
+        // Fallback for pathological urns: fill with arbitrary vertices.
+        let mut u = 0;
+        while targets.len() < want {
+            targets.insert(u);
+            u += 1;
+        }
+        for &t in &targets {
+            edges.push((t.min(v), t.max(v), 1.0));
+            urn.push(t);
+            urn.push(v);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::assert_connected_simple;
+
+    #[test]
+    fn connected_and_sized() {
+        let e = barabasi_albert(100, 2, 5);
+        assert_connected_simple(100, &e);
+        // 1 seed edge + 2 per vertex for v=2..100 (v=2 can only take 2).
+        assert_eq!(e.len(), 1 + 2 * 98);
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let n = 400;
+        let e = barabasi_albert(n, 2, 7);
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &e {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let max_deg = *deg.iter().max().unwrap();
+        let avg = 2.0 * e.len() as f64 / n as f64;
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "expected a hub: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(50, 3, 1), barabasi_albert(50, 3, 1));
+    }
+
+    #[test]
+    fn minimal_sizes() {
+        let e = barabasi_albert(2, 1, 1);
+        assert_eq!(e, vec![(0, 1, 1.0)]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Community-based co-authorship generator (stand-in for the DBLP snapshots).
+//!
+//! DBLP co-authorship graphs are sparse, clustered, and heavy-tailed; edge
+//! weights are co-author counts `α`, mapped to probabilities by
+//! `log(α+1)/log(α_M+2)` (paper §7.1). We emulate the structure with
+//! power-law-sized research groups: members of a group form a sparse random
+//! subgraph, and weights count repeated collaborations.
+
+use super::{connect_components, WeightedEdges};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Community co-authorship graph on `n` vertices targeting roughly
+/// `avg_degree`. Weights are synthetic co-paper counts (≥ 1).
+pub fn coauthor(n: usize, avg_degree: f64, seed: u64) -> WeightedEdges {
+    assert!(n >= 4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_edges = ((avg_degree * n as f64) / 2.0).round() as usize;
+
+    // Power-law community sizes in [3, 30].
+    let mut membership: Vec<Vec<usize>> = Vec::new();
+    let mut covered = 0usize;
+    while covered < 2 * n {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let size = (3.0 * (1.0 - u).powf(-0.6)).round().min(30.0) as usize;
+        let group: Vec<usize> = (0..size).map(|_| rng.gen_range(0..n)).collect();
+        covered += size;
+        membership.push(group);
+    }
+
+    // Within each group, sample pairs; repeats bump the weight (more joint
+    // papers), matching DBLP's weighted edges.
+    let mut weight: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    let mut guard = 0usize;
+    while weight.len() < target_edges && guard < 50 * target_edges + 1000 {
+        guard += 1;
+        let group = &membership[rng.gen_range(0..membership.len())];
+        if group.len() < 2 {
+            continue;
+        }
+        let a = group[rng.gen_range(0..group.len())];
+        let b = group[rng.gen_range(0..group.len())];
+        if a == b {
+            continue;
+        }
+        *weight.entry((a.min(b), a.max(b))).or_insert(0.0) += 1.0;
+    }
+
+    let mut edges: WeightedEdges =
+        weight.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1))); // determinism
+    connect_components(n, &mut edges, 1.0, &mut rng);
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::assert_connected_simple;
+
+    #[test]
+    fn connected_and_near_target_degree() {
+        let n = 500;
+        let e = coauthor(n, 8.0, 1);
+        assert_connected_simple(n, &e);
+        let avg = 2.0 * e.len() as f64 / n as f64;
+        assert!((6.5..9.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn weights_count_collaborations() {
+        let e = coauthor(200, 6.0, 2);
+        assert!(e.iter().all(|&(_, _, w)| w >= 1.0));
+        // Some pair should collaborate more than once.
+        assert!(e.iter().any(|&(_, _, w)| w >= 2.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(coauthor(150, 5.0, 3), coauthor(150, 5.0, 3));
+    }
+
+    #[test]
+    fn clustered_structure() {
+        // A community graph should have many triangles; count wedges closed.
+        let n = 300;
+        let e = coauthor(n, 8.0, 4);
+        let mut adj = vec![std::collections::HashSet::new(); n];
+        for &(u, v, _) in &e {
+            adj[u].insert(v);
+            adj[v].insert(u);
+        }
+        let mut triangles = 0usize;
+        for &(u, v, _) in &e {
+            triangles += adj[u].intersection(&adj[v]).count();
+        }
+        assert!(triangles > 0, "expected triangles in a community graph");
+    }
+}

@@ -1,0 +1,76 @@
+//! Connected Erdős–Rényi-style `G(n, m)` generator.
+
+use super::WeightedEdges;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A connected uniform random graph with `n` vertices and (about) `m` edges:
+/// a uniform random spanning tree skeleton plus uniformly sampled extras.
+/// All weights are 1.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> WeightedEdges {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges: WeightedEdges = Vec::with_capacity(m);
+    // Random attachment tree: vertex i links to a uniform earlier vertex.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        seen.insert((u, v));
+        edges.push((u, v, 1.0));
+    }
+    let max_m = n * (n - 1) / 2;
+    let target = m.min(max_m);
+    let mut guard = 0usize;
+    while edges.len() < target && guard < 100 * target + 1000 {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            edges.push((key.0, key.1, 1.0));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::assert_connected_simple;
+
+    #[test]
+    fn connected_with_exact_edges() {
+        let e = erdos_renyi(50, 120, 3);
+        assert_eq!(e.len(), 120);
+        assert_connected_simple(50, &e);
+    }
+
+    #[test]
+    fn tree_when_m_below_spanning() {
+        let e = erdos_renyi(10, 5, 1);
+        // The spanning skeleton alone needs n-1 = 9 edges.
+        assert_eq!(e.len(), 9);
+        assert_connected_simple(10, &e);
+    }
+
+    #[test]
+    fn caps_at_complete_graph() {
+        let e = erdos_renyi(5, 1000, 2);
+        assert_eq!(e.len(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(30, 60, 9), erdos_renyi(30, 60, 9));
+        assert_ne!(erdos_renyi(30, 60, 9), erdos_renyi(30, 60, 10));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let e = erdos_renyi(1, 5, 1);
+        assert!(e.is_empty());
+    }
+}

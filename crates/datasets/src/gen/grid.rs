@@ -1,0 +1,103 @@
+//! Road-network generator: a perturbed grid (stand-in for the paper's
+//! OpenStreetMap Tokyo / New York City datasets).
+//!
+//! Road networks are near-planar with average degree ≈ 2.3–2.45 (Table 2).
+//! We build a random spanning tree of a `w × h` grid (guaranteeing
+//! connectivity and planarity) and add grid chords until the edge budget is
+//! reached. Edge weights are synthetic road lengths (log-normal), which the
+//! `LogWeight` probability model maps to the paper's probability range.
+
+use super::WeightedEdges;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A connected near-planar road network on a `w × h` grid with approximately
+/// `avg_degree` average degree. Weights are synthetic road lengths in metres.
+pub fn road_grid(w: usize, h: usize, avg_degree: f64, seed: u64) -> WeightedEdges {
+    assert!(w >= 2 && h >= 2);
+    let n = w * h;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vid = |r: usize, c: usize| r * w + c;
+
+    // All candidate grid edges (right + down neighbours).
+    let mut candidates: Vec<(usize, usize)> = Vec::with_capacity(2 * n);
+    for r in 0..h {
+        for c in 0..w {
+            if c + 1 < w {
+                candidates.push((vid(r, c), vid(r, c + 1)));
+            }
+            if r + 1 < h {
+                candidates.push((vid(r, c), vid(r + 1, c)));
+            }
+        }
+    }
+
+    // Randomized spanning tree: shuffle candidates, Kruskal-accept.
+    for i in (1..candidates.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        candidates.swap(i, j);
+    }
+    let mut dsu = netrel_ugraph::Dsu::new(n);
+    let mut edges: WeightedEdges = Vec::with_capacity(n);
+    let mut leftovers = Vec::new();
+    for &(u, v) in &candidates {
+        if dsu.union(u, v).is_some() {
+            edges.push((u, v, road_length(&mut rng)));
+        } else {
+            leftovers.push((u, v));
+        }
+    }
+
+    // Add chords until the degree budget is met.
+    let target_edges = ((avg_degree * n as f64) / 2.0).round() as usize;
+    let mut li = 0usize;
+    while edges.len() < target_edges && li < leftovers.len() {
+        let (u, v) = leftovers[li];
+        li += 1;
+        edges.push((u, v, road_length(&mut rng)));
+    }
+    edges
+}
+
+/// Log-normal road length: median ≈ 36 m, clamped to [1 m, 10 km]. Chosen so
+/// the `LogWeight` model reproduces Table 2's road-network average
+/// probability (≈ 0.29–0.39).
+fn road_length<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (3.6 + normal).exp().clamp(1.0, 10_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::assert_connected_simple;
+
+    #[test]
+    fn connected_planar_shape() {
+        let e = road_grid(20, 15, 2.4, 1);
+        assert_connected_simple(300, &e);
+        let avg = 2.0 * e.len() as f64 / 300.0;
+        assert!((avg - 2.4).abs() < 0.1, "avg degree {avg}");
+    }
+
+    #[test]
+    fn spanning_tree_floor() {
+        // Requesting degree below tree level still yields a connected graph.
+        let e = road_grid(5, 5, 1.0, 2);
+        assert_eq!(e.len(), 24); // n - 1
+        assert_connected_simple(25, &e);
+    }
+
+    #[test]
+    fn weights_are_plausible_lengths() {
+        let e = road_grid(10, 10, 2.4, 3);
+        assert!(e.iter().all(|&(_, _, w)| (1.0..=10_000.0).contains(&w)));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road_grid(8, 8, 2.3, 4), road_grid(8, 8, 2.3, 4));
+    }
+}

@@ -1,0 +1,66 @@
+//! Watts–Strogatz small-world ring.
+
+use super::{dedup_simple, WeightedEdges};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ring lattice on `n` vertices where each vertex links to its `k_half`
+/// clockwise neighbors, with each edge rewired to a random endpoint with
+/// probability `beta`. The base ring is kept intact (only chords rewire), so
+/// the result stays connected. Weights are 1.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> WeightedEdges {
+    assert!(n >= 3 && k_half >= 1);
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: WeightedEdges = Vec::with_capacity(n * k_half);
+    for v in 0..n {
+        for d in 1..=k_half {
+            let w = (v + d) % n;
+            // The d == 1 ring is the connectivity backbone: never rewire it.
+            if d > 1 && rng.gen::<f64>() < beta {
+                let t = rng.gen_range(0..n);
+                edges.push((v, t, 1.0));
+            } else {
+                edges.push((v, w, 1.0));
+            }
+        }
+    }
+    dedup_simple(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::assert_connected_simple;
+
+    #[test]
+    fn no_rewiring_gives_lattice() {
+        let e = watts_strogatz(10, 2, 0.0, 1);
+        assert_eq!(e.len(), 20);
+        assert_connected_simple(10, &e);
+    }
+
+    #[test]
+    fn rewired_stays_connected() {
+        for seed in 0..5 {
+            let e = watts_strogatz(60, 3, 0.4, seed);
+            assert_connected_simple(60, &e);
+        }
+    }
+
+    #[test]
+    fn full_rewiring_still_has_ring() {
+        let e = watts_strogatz(20, 2, 1.0, 3);
+        // Every (v, v+1) ring edge must be present.
+        for v in 0..20 {
+            let w = (v + 1) % 20;
+            let key = (v.min(w), v.max(w));
+            assert!(e.iter().any(|&(a, b, _)| (a, b) == key), "missing ring edge {key:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(30, 2, 0.3, 5), watts_strogatz(30, 2, 0.3, 5));
+    }
+}

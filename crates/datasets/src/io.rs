@@ -1,0 +1,166 @@
+//! Edge-list I/O for uncertain graphs.
+//!
+//! Plain-text format, one edge per line: `u v p`, preceded by a header line
+//! `# vertices <n>`. Lines starting with `#` are otherwise comments. A
+//! serde-serializable mirror type is provided for structured storage.
+
+use netrel_ugraph::{GraphError, UncertainGraph};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Serde-friendly uncertain-graph representation.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EdgeListFile {
+    /// Vertex count.
+    pub vertices: usize,
+    /// `(u, v, p)` triples.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl EdgeListFile {
+    /// Capture a graph.
+    pub fn from_graph(g: &UncertainGraph) -> Self {
+        EdgeListFile {
+            vertices: g.num_vertices(),
+            edges: g.edges().iter().map(|e| (e.u, e.v, e.p)).collect(),
+        }
+    }
+
+    /// Rebuild the graph.
+    pub fn to_graph(&self) -> Result<UncertainGraph, GraphError> {
+        UncertainGraph::new(self.vertices, self.edges.iter().copied())
+    }
+}
+
+/// Write the plain-text edge-list format.
+pub fn write_edge_list<W: Write>(g: &UncertainGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.p)?;
+    }
+    Ok(())
+}
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and content).
+    Parse(usize, String),
+    /// Structural problem in the described graph.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse(line, text) => write!(f, "parse error at line {line}: {text:?}"),
+            ReadError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read the plain-text edge-list format.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<UncertainGraph, ReadError> {
+    let mut vertices: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("vertices") {
+                let n = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ReadError::Parse(idx + 1, line.clone()))?;
+                vertices = Some(n);
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |t: Option<&str>| t.and_then(|s| s.parse::<usize>().ok());
+        let u = parse(parts.next()).ok_or_else(|| ReadError::Parse(idx + 1, line.clone()))?;
+        let v = parse(parts.next()).ok_or_else(|| ReadError::Parse(idx + 1, line.clone()))?;
+        let p = parts
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| ReadError::Parse(idx + 1, line.clone()))?;
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v, p));
+    }
+    let n = vertices.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    UncertainGraph::new(n, edges).map_err(ReadError::Graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> UncertainGraph {
+        UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.25), (2, 3, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn header_optional() {
+        let text = "0 1 0.5\n1 2 0.25\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n# vertices 5\n0 4 0.9\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_reported_with_line() {
+        let text = "0 1 not-a-prob\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ReadError::Parse(1, _)) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        let text = "0 0 0.5\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(ReadError::Graph(_))));
+    }
+
+    #[test]
+    fn serde_mirror_roundtrip() {
+        let g = sample();
+        let file = EdgeListFile::from_graph(&g);
+        let g2 = file.to_graph().unwrap();
+        assert_eq!(g.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,24 @@
+//! Datasets mirroring the paper's evaluation corpora (Table 2).
+//!
+//! The paper evaluates on seven graphs: two small KONECT graphs
+//! (Zachary-karate-club, American-Revolution), two DBLP co-authorship
+//! snapshots, two OpenStreetMap road networks (Tokyo, New York City), and the
+//! HINT Hit-direct protein-interaction network. The karate club is embedded
+//! verbatim (it is a 34-vertex public-domain graph); the other six are
+//! reproduced by seeded synthetic generators that match the column statistics
+//! of Table 2 — vertex/edge counts, average degree, and average probability —
+//! and, more importantly, the *structural* property each dataset contributes
+//! to the evaluation (tree-likeness, planarity, heavy-tailed degrees, high
+//! density). See `DESIGN.md` §6 for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod io;
+pub mod karate;
+pub mod prob;
+pub mod registry;
+
+pub use prob::ProbModel;
+pub use registry::{Dataset, DatasetSpec};

@@ -1,0 +1,87 @@
+//! Compensated summation.
+//!
+//! The estimators accumulate many small probabilities; Neumaier's variant of
+//! Kahan summation keeps the error independent of the number of addends.
+
+/// Neumaier (improved Kahan) compensated accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// Fresh accumulator at zero.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+impl std::iter::FromIterator<f64> for NeumaierSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = NeumaierSum::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+/// Compensated sum of a slice.
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<NeumaierSum>().total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(NeumaierSum::new().total(), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_on_easy_input() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(sum(&xs), 5050.0);
+    }
+
+    #[test]
+    fn classic_cancellation_case() {
+        // Naive summation of [1, 1e100, 1, -1e100] yields 0; Neumaier yields 2.
+        assert_eq!(sum(&[1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn many_small_addends() {
+        let n = 10_000_000usize;
+        let x = 0.1f64;
+        let mut acc = NeumaierSum::new();
+        for _ in 0..n {
+            acc.add(x);
+        }
+        let err = (acc.total() - n as f64 * x).abs();
+        assert!(err < 1e-4, "compensated error too large: {err}");
+    }
+}

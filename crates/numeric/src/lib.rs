@@ -1,0 +1,27 @@
+//! Numeric substrate for the network-reliability workspace.
+//!
+//! The paper multiplies per-edge probabilities over hundreds of thousands of
+//! edges, which underflows `f64` (e.g. `0.2^248770`); the authors used
+//! Boost.Multiprecision with 10 000 decimal digits. All *reported* quantities
+//! are ratios and sums in `[0, 1]`, so full precision is unnecessary — what is
+//! needed is dynamic range. [`WideFloat`] provides an `f64` mantissa with an
+//! `i64` binary exponent: ~16 significant digits over a range of `2^±(2^63)`,
+//! which dominates sampling error by many orders of magnitude.
+//!
+//! The crate also provides compensated summation ([`NeumaierSum`]), online
+//! moment tracking ([`OnlineStats`]), log-space helpers, and the accuracy
+//! metrics used by the paper's evaluation ([`stats::accuracy`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fxhash;
+pub mod kahan;
+pub mod logspace;
+pub mod stats;
+pub mod widefloat;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use kahan::NeumaierSum;
+pub use stats::{accuracy, AccuracyReport, OnlineStats};
+pub use widefloat::WideFloat;

@@ -1,0 +1,84 @@
+//! Log-domain arithmetic helpers.
+//!
+//! Existence probabilities of possible worlds are products of up to `|E|`
+//! per-edge factors; working with their logarithms avoids underflow without
+//! paying for [`crate::WideFloat`] in hot loops that only need relative
+//! comparisons.
+
+/// `ln(exp(a) + exp(b))` computed stably.
+#[inline]
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln(Σ exp(xs))` computed stably; `-inf` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - hi).exp()).sum();
+    hi + s.ln()
+}
+
+/// `ln(1 - exp(x))` for `x <= 0`, stable near both ends.
+#[inline]
+pub fn log1m_exp(x: f64) -> f64 {
+    debug_assert!(x <= 0.0);
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x > -std::f64::consts::LN_2 {
+        (-x.exp_m1()).ln()
+    } else {
+        (-x.exp()).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn log_add_exp_basics() {
+        assert!(close(log_add_exp(0.0, 0.0), 2f64.ln()));
+        assert!(close(log_add_exp(1.0f64.ln(), 3.0f64.ln()), 4.0f64.ln()));
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -3.0), -3.0);
+        assert_eq!(log_add_exp(-3.0, f64::NEG_INFINITY), -3.0);
+    }
+
+    #[test]
+    fn log_add_exp_extreme_magnitudes() {
+        // exp(-100000) + exp(-100001) stays finite in log space.
+        let r = log_add_exp(-100_000.0, -100_001.0);
+        assert!(close(r, -100_000.0 + (1.0 + (-1.0f64).exp()).ln()));
+    }
+
+    #[test]
+    fn log_sum_exp_basics() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        let xs = [0.2f64.ln(), 0.3f64.ln(), 0.5f64.ln()];
+        assert!(close(log_sum_exp(&xs), 0.0)); // sums to 1
+    }
+
+    #[test]
+    fn log1m_exp_both_branches() {
+        // Large-negative branch: 1 - exp(-10) via ln_1p.
+        assert!(close(log1m_exp(-10.0), (1.0 - (-10.0f64).exp()).ln()));
+        // Near-zero branch: 1 - exp(-1e-9) ~ 1e-9.
+        let r = log1m_exp(-1e-9);
+        assert!((r - (1e-9f64).ln()).abs() < 1e-6);
+        assert_eq!(log1m_exp(0.0), f64::NEG_INFINITY);
+    }
+}

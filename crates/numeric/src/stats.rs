@@ -1,0 +1,231 @@
+//! Online statistics and the paper's accuracy metrics.
+
+use crate::kahan::NeumaierSum;
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`Σ(x-μ)²/n`; `0` when empty).
+    pub fn variance_population(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (`Σ(x-μ)²/(n-1)`; `0` when `n < 2`).
+    pub fn variance_sample(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance_population().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::iter::FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Accuracy metrics over repeated searches, as defined in the paper's §7.6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccuracyReport {
+    /// `Σ_i Σ_j (R_i − R̂_{i,j})² / (q1·q2)`
+    pub variance: f64,
+    /// `Σ_i Σ_j |R_i − R̂_{i,j}| / (q1·q2·R_i)`
+    pub error_rate: f64,
+    /// Number of `(i, j)` pairs included.
+    pub pairs: usize,
+}
+
+/// Compute the paper's variance and error-rate metrics.
+///
+/// `per_search` holds, for each of the `q1` searches, the exact reliability
+/// `R_i` and the `q2` approximations `R̂_{i,j}`. Searches with `R_i == 0`
+/// contribute to the variance but are skipped in the error-rate denominator
+/// (the paper's metric is undefined there); the skipped count is reflected in
+/// a reduced pair count for the error rate.
+pub fn accuracy(per_search: &[(f64, Vec<f64>)]) -> AccuracyReport {
+    let mut var = NeumaierSum::new();
+    let mut err = NeumaierSum::new();
+    let mut pairs = 0usize;
+    let mut err_pairs = 0usize;
+    for (exact, approxes) in per_search {
+        for &a in approxes {
+            let d = exact - a;
+            var.add(d * d);
+            pairs += 1;
+            if *exact > 0.0 {
+                err.add(d.abs() / exact);
+                err_pairs += 1;
+            }
+        }
+    }
+    AccuracyReport {
+        variance: if pairs == 0 { 0.0 } else { var.total() / pairs as f64 },
+        error_rate: if err_pairs == 0 { 0.0 } else { err.total() / err_pairs as f64 },
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.variance_population(), 4.0));
+        assert!(close(s.stddev(), 2.0));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance_population(), 0.0);
+        assert_eq!(s.variance_sample(), 0.0);
+        let mut s = OnlineStats::new();
+        s.push(3.0);
+        assert!(close(s.mean(), 3.0));
+        assert_eq!(s.variance_sample(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!(close(a.mean(), seq.mean()));
+        assert!(close(a.variance_population(), seq.variance_population()));
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        let b: OnlineStats = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: OnlineStats = [1.0, 2.0].into_iter().collect();
+        c.merge(&OnlineStats::new());
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn accuracy_paper_formulas() {
+        // Two searches, two runs each.
+        let data = vec![(0.5, vec![0.4, 0.6]), (0.25, vec![0.25, 0.20])];
+        let rep = accuracy(&data);
+        let var = ((0.1f64).powi(2) + (0.1f64).powi(2) + 0.0 + (0.05f64).powi(2)) / 4.0;
+        assert!(close(rep.variance, var));
+        let err = (0.1 / 0.5 + 0.1 / 0.5 + 0.0 + 0.05 / 0.25) / 4.0;
+        assert!(close(rep.error_rate, err));
+        assert_eq!(rep.pairs, 4);
+    }
+
+    #[test]
+    fn accuracy_zero_exact_skipped_in_error_rate() {
+        let data = vec![(0.0, vec![0.1]), (0.5, vec![0.5])];
+        let rep = accuracy(&data);
+        assert!(close(rep.variance, 0.01 / 2.0));
+        assert!(close(rep.error_rate, 0.0));
+    }
+
+    #[test]
+    fn accuracy_empty() {
+        let rep = accuracy(&[]);
+        assert_eq!(rep.variance, 0.0);
+        assert_eq!(rep.error_rate, 0.0);
+        assert_eq!(rep.pairs, 0);
+    }
+}

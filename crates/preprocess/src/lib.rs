@@ -1,0 +1,30 @@
+//! The extension technique (paper §5): reliability-preserving graph
+//! shrinking executed before S2BDD construction and sampling.
+//!
+//! Three phases:
+//!
+//! 1. **Prune** — contract 2-edge-connected components into super vertices
+//!    (the bridges then form a tree), take the minimal Steiner subtree
+//!    spanning the terminal-bearing super vertices, and drop everything
+//!    outside it: `R[G] = R[G']`.
+//! 2. **Decompose** — every remaining bridge must exist for the terminals to
+//!    connect, so `R[G'] = p_b · Π_i R[G_i, T_i]` where `p_b` is the product
+//!    of bridge probabilities and each component keeps its own terminals plus
+//!    the bridge endpoints (Lemma 5.1).
+//! 3. **Transform** — series / parallel / self-loop reductions shrink each
+//!    component without changing its reliability (Algorithm 3). A dangling
+//!    (degree-1 non-terminal) rule is added on top of the paper's three — it
+//!    is likewise exactness-preserving and can be disabled for ablation.
+//!
+//! The whole pipeline preserves the exact reliability; the property tests
+//! check `brute_force(G) = p_b · Π brute_force(G_i)` on random graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decompose;
+pub mod pipeline;
+pub mod prune;
+pub mod transform;
+
+pub use pipeline::{preprocess, Part, PreprocessConfig, PreprocessStats, Preprocessed};

@@ -1,0 +1,150 @@
+//! Prune phase: drop vertices and edges that cannot affect reliability.
+//!
+//! Contract each 2-edge-connected component to a super vertex; bridges then
+//! form a forest. The minimal Steiner subtree spanning the terminal-bearing
+//! super vertices contains exactly the components and bridges that any
+//! terminal-to-terminal path can use, so everything else is discarded
+//! without changing `R[G, T]` (paper §5, Prune).
+
+use netrel_ugraph::bridges::cut_structure;
+use netrel_ugraph::steiner::steiner_subtree;
+use netrel_ugraph::twoecc::{two_edge_connected_components, BridgeForest};
+use netrel_ugraph::{UncertainGraph, VertexId};
+
+/// Result of the prune phase.
+#[derive(Clone, Debug)]
+pub struct Pruned {
+    /// The pruned graph (vertices renumbered densely).
+    pub graph: UncertainGraph,
+    /// Old → new vertex ids (`None` for pruned vertices).
+    pub vertex_map: Vec<Option<VertexId>>,
+    /// Terminals renumbered into the pruned graph.
+    pub terminals: Vec<VertexId>,
+    /// `true` when the terminals span multiple trees of the bridge forest —
+    /// the reliability is identically zero.
+    pub trivially_zero: bool,
+}
+
+/// Run the prune phase. `terminals` must be valid for `g`.
+pub fn prune(g: &UncertainGraph, terminals: &[VertexId]) -> Pruned {
+    let cut = cut_structure(g);
+    let ecc = two_edge_connected_components(g, &cut);
+    let forest = BridgeForest::build(g, &cut, &ecc, terminals);
+
+    // Steiner subtree over the contracted forest.
+    let st = steiner_subtree(&forest.adj, &forest.node_terminal);
+
+    // Terminals in different trees stay in disjoint kept islands; detect by
+    // checking that the kept terminal super-vertices form one connected
+    // subtree (walk from one of them across kept forest edges).
+    let kept_terminal_nodes: Vec<usize> = (0..forest.num_nodes)
+        .filter(|&c| st.keep_node[c] && forest.node_terminal[c])
+        .collect();
+    let trivially_zero = if let Some(&start) = kept_terminal_nodes.first() {
+        let mut seen = vec![false; forest.num_nodes];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in &forest.adj[v] {
+                if st.keep_node[w] && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        kept_terminal_nodes.iter().any(|&c| !seen[c])
+    } else {
+        // No terminal-bearing super vertices: only possible with no terminals.
+        false
+    };
+
+    // Keep a vertex iff its component's super vertex is kept; keep an edge
+    // iff both endpoint components are kept (within a kept component all
+    // edges stay; a bridge between two kept components lies on the subtree).
+    let keep: Vec<bool> = (0..g.num_vertices()).map(|v| st.keep_node[ecc.comp[v]]).collect();
+    let (graph, vertex_map) = g.induced_subgraph(&keep);
+    let terminals: Vec<VertexId> = terminals
+        .iter()
+        .map(|&t| vertex_map[t].expect("terminal components are always kept"))
+        .collect();
+    Pruned { graph, vertex_map, terminals, trivially_zero }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrel_bdd::brute_force_reliability;
+
+    /// Triangle {0,1,2} — bridge — triangle {3,4,5} — pendant path 5-6-7.
+    fn lollipop() -> UncertainGraph {
+        UncertainGraph::new(
+            8,
+            [
+                (0, 1, 0.5),
+                (1, 2, 0.6),
+                (0, 2, 0.7),
+                (2, 3, 0.8),
+                (3, 4, 0.5),
+                (4, 5, 0.6),
+                (3, 5, 0.7),
+                (5, 6, 0.9),
+                (6, 7, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pendant_path_pruned() {
+        let g = lollipop();
+        let p = prune(&g, &[0, 4]);
+        assert!(!p.trivially_zero);
+        // Vertices 6, 7 are unreachable-by-need: pruned.
+        assert_eq!(p.graph.num_vertices(), 6);
+        assert_eq!(p.graph.num_edges(), 7);
+        assert_eq!(p.vertex_map[6], None);
+        assert_eq!(p.vertex_map[7], None);
+    }
+
+    #[test]
+    fn prune_preserves_reliability() {
+        let g = lollipop();
+        for t in [vec![0, 4], vec![1, 5], vec![0, 1, 2], vec![7, 0]] {
+            let before = brute_force_reliability(&g, &t);
+            let p = prune(&g, &t);
+            let after = brute_force_reliability(&p.graph, &p.terminals);
+            assert!((before - after).abs() < 1e-12, "terminals {t:?}: {before} vs {after}");
+        }
+    }
+
+    #[test]
+    fn terminal_inside_pendant_keeps_it() {
+        let g = lollipop();
+        let p = prune(&g, &[0, 7]);
+        // Nothing prunable except nothing — every vertex lies on the path.
+        assert_eq!(p.graph.num_vertices(), 8);
+    }
+
+    #[test]
+    fn terminals_in_disconnected_components_flagged_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (2, 3, 0.5)]).unwrap();
+        let p = prune(&g, &[0, 2]);
+        assert!(p.trivially_zero);
+    }
+
+    #[test]
+    fn all_terminals_same_component_not_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (2, 3, 0.5)]).unwrap();
+        let p = prune(&g, &[2, 3]);
+        assert!(!p.trivially_zero);
+        assert_eq!(p.graph.num_vertices(), 2);
+    }
+
+    #[test]
+    fn single_terminal_prunes_to_point() {
+        let g = lollipop();
+        let p = prune(&g, &[6]);
+        assert!(!p.trivially_zero);
+        assert_eq!(p.terminals.len(), 1);
+    }
+}

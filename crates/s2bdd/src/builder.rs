@@ -1,0 +1,521 @@
+//! S2BDD construction (paper Algorithm 2).
+//!
+//! Per layer: nodes are processed in descending heuristic priority; each edge
+//! decision either reaches a sink (tightening `p_c`/`p_d`), merges into an
+//! existing node (probabilities aggregate), occupies a free slot (up to the
+//! width bound `w`), or is *deleted* — its probability mass joins the layer's
+//! stratum, to be estimated by conditional-world sampling. After every layer
+//! the sample budget `s′` is recomputed from the bounds (Theorem 1), and if
+//! the budget is already covered by the mass of the live nodes, construction
+//! stops early and the live nodes are sampled directly (lines 26–30).
+
+use crate::config::{EstimatorKind, S2BddConfig};
+use crate::reduce::reduced_samples;
+use crate::result::S2BddResult;
+use crate::sampler::StratumSampler;
+use crate::strata::Stratum;
+use netrel_bdd::frontier::{FrontierMachine, Scratch, State, Transition};
+use netrel_numeric::WideFloat;
+use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One live S2BDD node: frontier state, path-probability mass, priority.
+struct Node {
+    state: State,
+    pn: WideFloat,
+    h: WideFloat,
+}
+
+/// The S2BDD solver.
+pub struct S2Bdd;
+
+impl S2Bdd {
+    /// Approximate (or, with unbounded width, exactly compute) `R[G, T]`.
+    pub fn solve(
+        g: &UncertainGraph,
+        terminals: &[VertexId],
+        cfg: S2BddConfig,
+    ) -> Result<S2BddResult, GraphError> {
+        let t = g.validate_terminals(terminals)?;
+        let mut machine = FrontierMachine::new(g, &t, cfg.order)?;
+        if let Some(r) = machine.trivial() {
+            return Ok(S2BddResult::trivial(r, cfg.samples));
+        }
+
+        let k = machine.k();
+        let layers_total = machine.layers();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sampler = StratumSampler::new(g.num_vertices(), machine.terminal_mask(), k);
+        let mut scratch = Scratch::default();
+        let mut key = Vec::new();
+
+        let mut nodes: Vec<Node> =
+            vec![Node { state: State::root(), pn: WideFloat::ONE, h: WideFloat::ONE }];
+        let mut pc = WideFloat::ZERO;
+        let mut pd = WideFloat::ZERO;
+        let mut strata: Vec<Stratum> = Vec::new();
+        let mut samples_taken = 0usize;
+        let mut s_cur = cfg.samples;
+        let mut deleted_nodes_total = 0usize;
+        let mut peak_width = 1usize;
+        let mut peak_memory = 0usize;
+        let mut layers_completed = 0usize;
+        let mut early_exit = false;
+        let mut trajectory: Option<Vec<(f64, f64)>> =
+            cfg.record_trajectory.then(Vec::new);
+
+        for l in 0..layers_total {
+            let e = machine.current_edge();
+            // Process high-priority nodes first so that, when the width bound
+            // bites, the kept nodes are the ones most likely to tighten the
+            // bounds (paper §4.3.2; Algorithm 2 line 34).
+            nodes.sort_unstable_by(|a, b| {
+                b.h.partial_cmp(&a.h).unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            let mut index: netrel_numeric::FxHashMap<Vec<u8>, u32> =
+                netrel_numeric::FxHashMap::default();
+            let mut next: Vec<Node> = Vec::new();
+            let mut deleted: Vec<(State, WideFloat)> = Vec::new();
+            let mut deleted_mass = WideFloat::ZERO;
+
+            for node in nodes.drain(..) {
+                for (take, weight) in [(true, e.p), (false, 1.0 - e.p)] {
+                    if weight <= 0.0 {
+                        continue;
+                    }
+                    let pn = node.pn.mul_f64(weight);
+                    match machine.apply(&node.state, take, &mut scratch) {
+                        Transition::One => pc = pc.add(pn),
+                        Transition::Zero => pd = pd.add(pn),
+                        Transition::Next(ns) => {
+                            ns.signature(cfg.merge_rule, &mut key);
+                            if let Some(&i) = index.get(&key) {
+                                next[i as usize].pn = next[i as usize].pn.add(pn);
+                            } else if next.len() < cfg.max_width {
+                                index.insert(key.clone(), next.len() as u32);
+                                next.push(Node { state: ns, pn, h: WideFloat::ZERO });
+                            } else {
+                                deleted_mass = deleted_mass.add(pn);
+                                deleted.push((ns, pn));
+                                deleted_nodes_total += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Stratified sampling of this layer's deleted mass (§4.3.3).
+            if !deleted.is_empty() && cfg.samples > 0 {
+                let mass = deleted_mass.to_f64();
+                if mass > 0.0 {
+                    let mut st = Stratum::new(l, mass);
+                    let quota = (((s_cur as f64) * mass).floor() as usize).max(1);
+                    sample_pool(
+                        &deleted,
+                        deleted_mass,
+                        quota,
+                        &machine,
+                        l,
+                        cfg.estimator,
+                        &mut sampler,
+                        &mut st,
+                        &mut rng,
+                    );
+                    samples_taken += quota;
+                    strata.push(st);
+                }
+            }
+
+            // Recompute the reduced budget from the tightened bounds.
+            if cfg.reduce_samples {
+                s_cur = reduced_samples(cfg.samples, pc.to_f64(), pd.to_f64());
+            }
+            if let Some(tr) = trajectory.as_mut() {
+                tr.push((pc.to_f64(), pd.to_f64()));
+            }
+            peak_width = peak_width.max(next.len());
+            let layer_bytes: usize = next
+                .iter()
+                .map(|n| n.state.heap_bytes() + std::mem::size_of::<Node>() + 48)
+                .sum();
+            peak_memory = peak_memory.max(layer_bytes);
+            layers_completed = l + 1;
+
+            if next.is_empty() {
+                // Every path reached a sink.
+                break;
+            }
+
+            // Early exit (Algorithm 2 lines 26–30): once the stratified
+            // sampling has consumed the (possibly reduced) budget s′,
+            // continuing the construction cannot save sampling work — sample
+            // the live nodes as one final stratum and stop. (The paper's
+            // literal condition `c + ⌊s′·p_Nnext⌋ ≥ s′` is trivially true at
+            // layer 0 where p_Nnext = 1; we read it as budget exhaustion,
+            // which matches the §4.3.3 prose.)
+            if cfg.samples > 0 && l + 1 < layers_total && samples_taken >= s_cur {
+                let live_mass_wf: WideFloat = next.iter().map(|n| n.pn).sum();
+                let live_mass = live_mass_wf.to_f64();
+                let live_quota = ((s_cur as f64) * live_mass).floor() as usize;
+                if live_mass > 0.0 {
+                    let pool: Vec<(State, WideFloat)> =
+                        next.into_iter().map(|n| (n.state, n.pn)).collect();
+                    let mut st = Stratum::new(usize::MAX, live_mass);
+                    let quota = live_quota.max(1);
+                    sample_pool(
+                        &pool,
+                        live_mass_wf,
+                        quota,
+                        &machine,
+                        l,
+                        cfg.estimator,
+                        &mut sampler,
+                        &mut st,
+                        &mut rng,
+                    );
+                    samples_taken += quota;
+                    strata.push(st);
+                    early_exit = true;
+                    break;
+                }
+                // (ownership: `next` was not consumed above)
+                nodes = next;
+            } else {
+                nodes = next;
+            }
+
+            // Compute priorities for the new layer (needs post-layer future
+            // degrees, so it happens before advance()).
+            for n in &mut nodes {
+                n.h = heuristic(&machine, &n.state, n.pn, k);
+            }
+            machine.advance();
+        }
+
+        // Assemble the estimate: proven mass plus per-stratum estimates.
+        let pc_f = pc.to_f64();
+        let pd_f = pd.to_f64();
+        let mut estimate = pc_f;
+        let mut variance = 0.0f64;
+        for st in &strata {
+            estimate += st.estimate(cfg.estimator);
+            variance += st.variance_contrib(cfg.estimator);
+        }
+        let exact = strata.is_empty() && !early_exit && deleted_nodes_total == 0;
+        if exact {
+            debug_assert!(
+                (pc_f + pd_f - 1.0).abs() < 1e-9,
+                "exact run must account for all mass: pc={pc_f} pd={pd_f}"
+            );
+        }
+        // pc and 1-pd can cross by one ulp on exact runs; keep the interval sane.
+        let upper = (1.0 - pd_f).max(pc_f);
+        Ok(S2BddResult {
+            estimate: estimate.clamp(pc_f, upper),
+            lower_bound: pc_f,
+            upper_bound: upper,
+            exact,
+            samples_requested: cfg.samples,
+            samples_used: samples_taken,
+            s_prime_final: s_cur,
+            strata: strata.len(),
+            deleted_nodes: deleted_nodes_total,
+            variance_estimate: variance,
+            peak_width,
+            peak_memory_bytes: peak_memory,
+            layers_completed,
+            layers_total,
+            early_exit,
+            trajectory,
+        })
+    }
+
+    /// Exact reliability via an unbounded-width S2BDD.
+    pub fn exact(g: &UncertainGraph, terminals: &[VertexId]) -> Result<f64, GraphError> {
+        let r = Self::solve(g, terminals, S2BddConfig::exact())?;
+        debug_assert!(r.exact);
+        Ok(r.estimate)
+    }
+}
+
+/// Draw `quota` conditional worlds from a weighted node pool, recording them
+/// into `st`. Node choice is probability-proportional (multinomial), which
+/// keeps the stratum estimator unbiased.
+#[allow(clippy::too_many_arguments)]
+fn sample_pool(
+    pool: &[(State, WideFloat)],
+    pool_mass: WideFloat,
+    quota: usize,
+    machine: &FrontierMachine,
+    layer: usize,
+    estimator: EstimatorKind,
+    sampler: &mut StratumSampler,
+    st: &mut Stratum,
+    rng: &mut StdRng,
+) {
+    debug_assert!(!pool.is_empty());
+    // Cumulative node weights, computed in the wide domain to survive
+    // underflow, then normalized into f64.
+    let mut cum = Vec::with_capacity(pool.len());
+    let mut acc = 0.0f64;
+    for (_, pn) in pool {
+        acc += pn.div(pool_mass).to_f64();
+        cum.push(acc);
+    }
+    let frontier = machine.next_frontier();
+    let rest = &machine.ordered_edges()[layer + 1..];
+    for _ in 0..quota {
+        let x: f64 = rng.gen_range(0.0..1.0) * acc.max(1.0);
+        let i = cum.partition_point(|&c| c < x).min(pool.len() - 1);
+        let (state, pn) = &pool[i];
+        match estimator {
+            EstimatorKind::MonteCarlo => {
+                let conn = sampler.sample_connected(state, frontier, rest, rng);
+                st.record_mc(conn);
+            }
+            EstimatorKind::HorvitzThompson => {
+                let (conn, ln_suffix, hash) = sampler.sample_full(state, frontier, rest, rng);
+                // World identity and probability are *within the stratum*:
+                // mix the node index into the hash and add the node's pick
+                // log-probability.
+                let mixed = hash ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let ln_node = pn.div(pool_mass).to_f64().max(f64::MIN_POSITIVE).ln();
+                st.record_ht(mixed, ln_node + ln_suffix, conn);
+            }
+        }
+    }
+}
+
+/// The paper's deletion heuristic (Eq. 10):
+/// `h(n) = p_n · max_f max(t_{n,f}/k, 1/d_{n,f})` over terminal-bearing
+/// components; nodes with no terminal-bearing component get priority 0.
+fn heuristic(machine: &FrontierMachine, state: &State, pn: WideFloat, k: usize) -> WideFloat {
+    let ncomps = state.tcnt.len();
+    if ncomps == 0 {
+        return WideFloat::ZERO;
+    }
+    // d_{n,f}: uncertain edges incident to each component = summed future
+    // degrees of its frontier members (derived, not stored — see DESIGN.md).
+    let mut d = vec![0u64; ncomps];
+    for (slot, &v) in machine.next_frontier().iter().enumerate() {
+        d[state.comp[slot] as usize] += machine.future_degree_after_current(v) as u64;
+    }
+    let mut best = 0.0f64;
+    for c in 0..ncomps {
+        let t = state.tcnt[c];
+        if t == 0 {
+            continue;
+        }
+        let t_term = t as f64 / k as f64;
+        let d_term = if d[c] > 0 { 1.0 / d[c] as f64 } else { 1.0 };
+        best = best.max(t_term).max(d_term);
+    }
+    pn.mul_f64(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrel_bdd::brute_force_reliability;
+    use proptest::prelude::*;
+
+    fn fixture() -> (UncertainGraph, Vec<usize>) {
+        // The paper's Figure 1 graph: a~e with 6 edges at p = 0.7.
+        let g = UncertainGraph::new(
+            5,
+            [
+                (0, 1, 0.7), // e1 a-b
+                (0, 2, 0.7), // e2 a-c
+                (1, 2, 0.7), // e3 b-c
+                (1, 3, 0.7), // e4 b-d
+                (2, 4, 0.7), // e5 c-e
+                (3, 4, 0.7), // e6 d-e
+            ],
+        )
+        .unwrap();
+        (g, vec![0, 3, 4]) // terminals a, d, e
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_figure1() {
+        let (g, t) = fixture();
+        let expect = brute_force_reliability(&g, &t);
+        let got = S2Bdd::exact(&g, &t).unwrap();
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn exact_run_reports_exact_and_tight_bounds() {
+        let (g, t) = fixture();
+        let r = S2Bdd::solve(&g, &t, S2BddConfig::exact()).unwrap();
+        assert!(r.exact);
+        assert!(r.bound_gap() < 1e-12);
+        assert_eq!(r.samples_used, 0);
+        assert_eq!(r.strata, 0);
+        assert_eq!(r.layers_total, 6);
+    }
+
+    #[test]
+    fn trivial_instances() {
+        let (g, _) = fixture();
+        let r = S2Bdd::solve(&g, &[2], S2BddConfig::default()).unwrap();
+        assert_eq!(r.estimate, 1.0);
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn bounded_width_still_within_bounds() {
+        let (g, t) = fixture();
+        let exact = brute_force_reliability(&g, &t);
+        for w in [1usize, 2, 3] {
+            let cfg = S2BddConfig { max_width: w, samples: 4000, ..Default::default() };
+            let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+            assert!(r.lower_bound <= exact + 1e-12, "w={w}: lb {} > {exact}", r.lower_bound);
+            assert!(r.upper_bound >= exact - 1e-12, "w={w}: ub {} < {exact}", r.upper_bound);
+            assert!(r.estimate >= r.lower_bound - 1e-12 && r.estimate <= r.upper_bound + 1e-12);
+            // With sampling the estimate should be in the right neighborhood.
+            assert!((r.estimate - exact).abs() < 0.2, "w={w}: {} vs {exact}", r.estimate);
+        }
+    }
+
+    #[test]
+    fn narrow_width_estimates_converge_with_samples() {
+        let (g, t) = fixture();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = S2BddConfig { max_width: 2, samples: 200_000, seed: 9, ..Default::default() };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        assert!(!r.exact);
+        assert!((r.estimate - exact).abs() < 0.02, "{} vs {exact}", r.estimate);
+    }
+
+    #[test]
+    fn ht_estimator_also_converges() {
+        let (g, t) = fixture();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = S2BddConfig {
+            max_width: 2,
+            samples: 100_000,
+            estimator: EstimatorKind::HorvitzThompson,
+            seed: 11,
+            ..Default::default()
+        };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        assert!((r.estimate - exact).abs() < 0.05, "{} vs {exact}", r.estimate);
+    }
+
+    #[test]
+    fn sample_reduction_engages() {
+        let (g, t) = fixture();
+        let cfg = S2BddConfig { max_width: 2, samples: 10_000, ..Default::default() };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        // Bounds tighten during construction, so the final budget is reduced.
+        assert!(r.s_prime_final < r.samples_requested, "{} vs {}", r.s_prime_final, r.samples_requested);
+    }
+
+    #[test]
+    fn early_exit_engages_when_budget_exhausted() {
+        // Cycle 0-1-2-3 with terminals {0, 2}: at layer 0 both branches
+        // survive; with w = 1 one node is deleted and sampled, consuming the
+        // whole budget (s = 1), so the next layer boundary early-exits.
+        let g = UncertainGraph::new(4, [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6), (3, 0, 0.6)])
+            .unwrap();
+        let exact = brute_force_reliability(&g, &[0, 2]);
+        let cfg = S2BddConfig { max_width: 1, samples: 1, seed: 2, ..Default::default() };
+        let r = S2Bdd::solve(&g, &[0, 2], cfg).unwrap();
+        assert!(r.early_exit, "budget of 1 must exhaust immediately: {r:?}");
+        assert!(!r.exact);
+        assert!(r.lower_bound <= exact && exact <= r.upper_bound);
+        assert!(r.layers_completed < r.layers_total);
+    }
+
+    #[test]
+    fn zero_samples_with_finite_width_degrades_to_lower_bound() {
+        let (g, t) = fixture();
+        let cfg = S2BddConfig { max_width: 1, samples: 0, ..Default::default() };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        assert!(!r.exact);
+        assert_eq!(r.samples_used, 0);
+        // With no sampling the deleted mass is unaccounted; the clamped
+        // estimate equals the proven lower bound.
+        assert_eq!(r.estimate, r.lower_bound);
+    }
+
+    #[test]
+    fn certain_edges_take_single_branch() {
+        // p = 1.0 edges must not generate a zero-probability 0-branch.
+        let g = UncertainGraph::new(3, [(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
+        let r = S2Bdd::solve(&g, &[0, 2], S2BddConfig::exact()).unwrap();
+        assert!(r.exact);
+        assert!((r.estimate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_recorded_when_asked() {
+        let (g, t) = fixture();
+        let cfg = S2BddConfig { record_trajectory: true, ..S2BddConfig::exact() };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        let tr = r.trajectory.unwrap();
+        assert_eq!(tr.len(), r.layers_completed);
+        // pc and pd are monotone nondecreasing.
+        for w in tr.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        let last = tr.last().unwrap();
+        assert!((last.0 + last.1 - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn exact_agrees_with_brute_force(
+            edges in proptest::collection::vec((0usize..7, 0usize..7, 0.05f64..1.0), 1..12),
+            t0 in 0usize..7,
+            t1 in 0usize..7,
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let list: Vec<(usize, usize, f64)> = edges
+                .into_iter()
+                .filter_map(|(u, v, p)| {
+                    if u == v { return None; }
+                    let key = (u.min(v), u.max(v));
+                    seen.insert(key).then_some((key.0, key.1, p))
+                })
+                .collect();
+            prop_assume!(!list.is_empty());
+            let g = UncertainGraph::new(7, list).unwrap();
+            let mut t = vec![t0, t1];
+            t.sort_unstable();
+            t.dedup();
+            let expect = brute_force_reliability(&g, &t);
+            let got = S2Bdd::exact(&g, &t).unwrap();
+            prop_assert!((got - expect).abs() < 1e-9, "{} vs {}", got, expect);
+        }
+
+        /// At any width, the proven bounds must bracket the true reliability.
+        #[test]
+        fn bounds_always_bracket_truth(
+            edges in proptest::collection::vec((0usize..6, 0usize..6, 0.1f64..0.95), 2..11),
+            w in 1usize..6,
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let list: Vec<(usize, usize, f64)> = edges
+                .into_iter()
+                .filter_map(|(u, v, p)| {
+                    if u == v { return None; }
+                    let key = (u.min(v), u.max(v));
+                    seen.insert(key).then_some((key.0, key.1, p))
+                })
+                .collect();
+            prop_assume!(list.len() >= 2);
+            let g = UncertainGraph::new(6, list).unwrap();
+            let t = vec![0, 5];
+            let exact = brute_force_reliability(&g, &t);
+            let cfg = S2BddConfig { max_width: w, samples: 200, ..Default::default() };
+            let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+            prop_assert!(r.lower_bound <= exact + 1e-9);
+            prop_assert!(r.upper_bound >= exact - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Configuration for the S2BDD solver.
+
+use netrel_bdd::frontier::MergeRule;
+use netrel_ugraph::ordering::EdgeOrder;
+
+/// Which estimator aggregates the stratified samples (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// Monte Carlo estimator (sample mean of the connectivity indicator).
+    #[default]
+    MonteCarlo,
+    /// Horvitz–Thompson estimator over distinct sampled worlds with
+    /// `π_i = 1 − (1 − Pr[G_pi])^s` (paper §4.2). Requires full-world draws,
+    /// so it is somewhat slower per sample.
+    HorvitzThompson,
+}
+
+/// S2BDD solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct S2BddConfig {
+    /// Maximum number of nodes kept per layer (the paper's `w`).
+    /// `usize::MAX` disables deletion, making the solver exact.
+    pub max_width: usize,
+    /// Requested number of samples `s` (before Theorem 1/2 reduction).
+    pub samples: usize,
+    /// Estimator for the stratified samples.
+    pub estimator: EstimatorKind,
+    /// Edge processing order.
+    pub order: EdgeOrder,
+    /// Node-merging rule (paper Lemma 4.3 by default).
+    pub merge_rule: MergeRule,
+    /// RNG seed for the sampling procedures (the construction itself is
+    /// deterministic).
+    pub seed: u64,
+    /// Apply Theorem 1/2 sample-count reduction as the bounds tighten.
+    /// Disable to ablate the reduction while keeping the stratification.
+    pub reduce_samples: bool,
+    /// Record the `(p_c, p_d)` trajectory per layer (costs `O(|E|)` memory;
+    /// useful for plots and diagnostics).
+    pub record_trajectory: bool,
+}
+
+impl Default for S2BddConfig {
+    fn default() -> Self {
+        S2BddConfig {
+            max_width: 10_000,
+            samples: 10_000,
+            estimator: EstimatorKind::MonteCarlo,
+            order: EdgeOrder::Bfs,
+            merge_rule: MergeRule::Pattern,
+            seed: 0x5eed,
+            reduce_samples: true,
+            record_trajectory: false,
+        }
+    }
+}
+
+impl S2BddConfig {
+    /// Exact configuration: unbounded width, no sampling.
+    pub fn exact() -> Self {
+        S2BddConfig { max_width: usize::MAX, samples: 0, ..Default::default() }
+    }
+
+    /// The paper's default experimental setting (`w` = 10 000, `s` = 10 000).
+    pub fn paper_default(seed: u64) -> Self {
+        S2BddConfig { seed, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = S2BddConfig::default();
+        assert_eq!(c.max_width, 10_000);
+        assert_eq!(c.samples, 10_000);
+        assert_eq!(c.estimator, EstimatorKind::MonteCarlo);
+        assert!(c.reduce_samples);
+    }
+
+    #[test]
+    fn exact_config_disables_sampling() {
+        let c = S2BddConfig::exact();
+        assert_eq!(c.max_width, usize::MAX);
+        assert_eq!(c.samples, 0);
+    }
+}

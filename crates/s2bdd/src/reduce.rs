@@ -1,0 +1,103 @@
+//! Sample-count reduction from the bounds (paper Theorems 1 and 2).
+//!
+//! Given the requested sample count `s`, the lower bound `p_c`, and the upper
+//! bound `1 − p_d`, the stratified estimator needs only `s′ ≤ s` samples to
+//! match the variance of plain Monte Carlo with `s` samples. The same `s′`
+//! applies to both the Monte Carlo and the Horvitz–Thompson estimators
+//! (Theorem 2 reduces to Theorem 1 because the estimator is unbiased).
+
+/// Compute `s′` per Theorem 1's five cases. `pc` and `pd` are clamped into
+/// `[0, 1]` with `pc + pd ≤ 1`; the result is clamped into `[0, s]`.
+pub fn reduced_samples(s: usize, pc: f64, pd: f64) -> usize {
+    let pc = pc.clamp(0.0, 1.0);
+    let pd = pd.clamp(0.0, 1.0 - pc);
+    let sf = s as f64;
+    let factor = if pc == 0.0 && pd == 0.0 {
+        1.0
+    } else if pc == 0.0 {
+        1.0 - pd
+    } else if pd == 0.0 {
+        1.0 - pc
+    } else if pc == pd {
+        1.0 - 4.0 * pc * (1.0 - pc)
+    } else if pc < pd {
+        1.0 - 4.0 * pc * (1.0 - pd)
+    } else {
+        let a = 4.0 * pc * (1.0 - pc);
+        let b = 4.0 * (pc * (1.0 - pd) + (pd - pc));
+        1.0 - a.min(b)
+    };
+    ((sf * factor).floor().max(0.0) as usize).min(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_bounds_no_reduction() {
+        assert_eq!(reduced_samples(10_000, 0.0, 0.0), 10_000);
+    }
+
+    #[test]
+    fn pc_zero_case() {
+        // s' = ⌊s (1 - pd)⌋
+        assert_eq!(reduced_samples(10_000, 0.0, 0.25), 7_500);
+    }
+
+    #[test]
+    fn pd_zero_case() {
+        assert_eq!(reduced_samples(10_000, 0.4, 0.0), 6_000);
+    }
+
+    #[test]
+    fn equal_bounds_case() {
+        // s' = ⌊s (1 - 4 pc (1 - pc))⌋ with pc = 0.25: 1 - 0.75 = 0.25.
+        assert_eq!(reduced_samples(10_000, 0.25, 0.25), 2_500);
+    }
+
+    #[test]
+    fn pc_less_than_pd_case() {
+        // 1 - 4 * 0.1 * (1 - 0.3) = 0.72
+        assert_eq!(reduced_samples(10_000, 0.1, 0.3), 7_200);
+    }
+
+    #[test]
+    fn pc_greater_than_pd_case() {
+        // a = 4*0.3*0.7 = 0.84; b = 4*(0.3*0.9 + (0.1-0.3)) = 4*0.07 = 0.28.
+        // min = 0.28 → factor 0.72; the theorem floors, and 0.72 rounds just
+        // below 7200 in binary, hence 7199.
+        assert_eq!(reduced_samples(10_000, 0.3, 0.1), 7_199);
+    }
+
+    #[test]
+    fn tight_bounds_reduce_heavily() {
+        // pc = pd = 0.5 is a fully determined instance: factor 1-4*0.25 = 0.
+        assert_eq!(reduced_samples(10_000, 0.5, 0.5), 0);
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamped() {
+        assert_eq!(reduced_samples(100, -0.5, 2.0), reduced_samples(100, 0.0, 1.0));
+        assert_eq!(reduced_samples(100, 0.9, 0.9), reduced_samples(100, 0.9, 0.1));
+    }
+
+    proptest! {
+        /// Theorem 1's guarantee: s' never exceeds s, for any valid bounds.
+        #[test]
+        fn never_exceeds_s(s in 0usize..1_000_000, pc in 0.0f64..=1.0, q in 0.0f64..=1.0) {
+            let pd = (1.0 - pc) * q;
+            let sp = reduced_samples(s, pc, pd);
+            prop_assert!(sp <= s);
+        }
+
+        /// Monotonicity in the bound quality: more pc (with pd = 0) means
+        /// fewer samples.
+        #[test]
+        fn monotone_in_pc(s in 1usize..100_000, pc1 in 0.0f64..=1.0, pc2 in 0.0f64..=1.0) {
+            let (lo, hi) = if pc1 <= pc2 { (pc1, pc2) } else { (pc2, pc1) };
+            prop_assert!(reduced_samples(s, hi, 0.0) <= reduced_samples(s, lo, 0.0));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Conditional possible-world sampling from an S2BDD node.
+//!
+//! A node at layer `l` represents the set of possible worlds that share its
+//! frontier state; sampling a world from it means drawing states for the
+//! *remaining* edges only and checking k-terminal connectivity against the
+//! node's component structure — the dynamic-programming view of §4.1:
+//! sampling from an intermediate graph is a subproblem of sampling from `G`.
+//!
+//! The union-find is epoch-versioned (like `netrel_ugraph::sample`) so a
+//! sample costs `O(|E_rest| α)` instead of `O(|V|)` reset time.
+
+use netrel_bdd::frontier::{LayerEdge, State};
+use netrel_ugraph::VertexId;
+use rand::Rng;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    parent: u32,
+    size: u32,
+    tcount: u32,
+    epoch: u32,
+}
+
+/// Reusable sampler of conditional worlds below a frontier state.
+#[derive(Clone, Debug)]
+pub struct StratumSampler {
+    slots: Vec<Slot>,
+    epoch: u32,
+    is_terminal: Vec<bool>,
+    k: u32,
+}
+
+impl StratumSampler {
+    /// Sampler over a graph with `n` vertices, `terminal` mask, `k` terminals.
+    pub fn new(n: usize, terminal: &[bool], k: usize) -> Self {
+        assert_eq!(terminal.len(), n);
+        StratumSampler {
+            slots: vec![Slot { parent: 0, size: 0, tcount: 0, epoch: 0 }; n],
+            epoch: 0,
+            is_terminal: terminal.to_vec(),
+            k: k as u32,
+        }
+    }
+
+    #[inline]
+    fn touch(&mut self, x: usize) {
+        let init_t = self.is_terminal[x] as u32;
+        let s = &mut self.slots[x];
+        if s.epoch != self.epoch {
+            s.epoch = self.epoch;
+            s.parent = x as u32;
+            s.size = 1;
+            s.tcount = init_t;
+        }
+    }
+
+    #[inline]
+    fn find(&mut self, mut x: usize) -> usize {
+        self.touch(x);
+        loop {
+            let p = self.slots[x].parent as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.slots[p].parent;
+            self.slots[x].parent = gp;
+            x = gp as usize;
+        }
+    }
+
+    #[inline]
+    fn union_count(&mut self, u: usize, v: usize) -> u32 {
+        let mut ra = self.find(u);
+        let mut rb = self.find(v);
+        if ra == rb {
+            return self.slots[ra].tcount;
+        }
+        if self.slots[ra].size < self.slots[rb].size {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.slots[rb].parent = ra as u32;
+        self.slots[ra].size += self.slots[rb].size;
+        self.slots[ra].tcount += self.slots[rb].tcount;
+        self.slots[ra].tcount
+    }
+
+    /// Initialize a fresh world from the node's component structure:
+    /// members of each component are unioned and the component root carries
+    /// the component's terminal count (which already includes terminals that
+    /// left the frontier inside it).
+    fn begin(&mut self, state: &State, frontier: &[VertexId]) -> bool {
+        debug_assert_eq!(state.comp.len(), frontier.len());
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            for (i, s) in self.slots.iter_mut().enumerate() {
+                *s = Slot { parent: i as u32, size: 1, tcount: self.is_terminal[i] as u32, epoch: 0 };
+            }
+        }
+        // Union each component's members, then overwrite the root count with
+        // the component's stored count.
+        let ncomps = state.tcnt.len();
+        let mut first_member = vec![usize::MAX; ncomps];
+        for (slot, &v) in frontier.iter().enumerate() {
+            let c = state.comp[slot] as usize;
+            self.touch(v);
+            if first_member[c] == usize::MAX {
+                first_member[c] = v;
+            } else {
+                self.union_count(first_member[c], v);
+            }
+        }
+        let mut connected = false;
+        for c in 0..ncomps {
+            if first_member[c] != usize::MAX {
+                let r = self.find(first_member[c]);
+                self.slots[r].tcount = state.tcnt[c];
+                connected |= state.tcnt[c] >= self.k;
+            }
+        }
+        connected
+    }
+
+    /// Draw one conditional world: Bernoulli states for `rest_edges` only.
+    /// Returns whether all `k` terminals are connected. Early-exits (unbiased
+    /// — the indicator does not depend on undrawn edges).
+    pub fn sample_connected<R: Rng + ?Sized>(
+        &mut self,
+        state: &State,
+        frontier: &[VertexId],
+        rest_edges: &[LayerEdge],
+        rng: &mut R,
+    ) -> bool {
+        if self.begin(state, frontier) {
+            return true;
+        }
+        for e in rest_edges {
+            if rng.gen::<f64>() < e.p && self.union_count(e.u, e.v) >= self.k {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Draw one *full* conditional world (all remaining edges) and return
+    /// `(connected, ln conditional probability, state hash)` for the
+    /// Horvitz–Thompson estimator.
+    pub fn sample_full<R: Rng + ?Sized>(
+        &mut self,
+        state: &State,
+        frontier: &[VertexId],
+        rest_edges: &[LayerEdge],
+        rng: &mut R,
+    ) -> (bool, f64, u64) {
+        let mut connected = self.begin(state, frontier);
+        let mut ln_p = 0.0f64;
+        let mut hash = 0xcbf29ce484222325u64;
+        for e in rest_edges {
+            let exists = rng.gen::<f64>() < e.p;
+            hash ^= exists as u64 + 1;
+            hash = hash.wrapping_mul(0x100000001b3);
+            if exists {
+                ln_p += e.p.ln();
+                connected |= self.union_count(e.u, e.v) >= self.k;
+            } else {
+                ln_p += (1.0 - e.p).ln();
+            }
+        }
+        (connected, ln_p, hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn edge(u: usize, v: usize, p: f64) -> LayerEdge {
+        LayerEdge { id: 0, u, v, p }
+    }
+
+    #[test]
+    fn already_connected_state_always_hits() {
+        // One component holding both terminals.
+        let state = State { comp: vec![0, 0], tcnt: vec![2] };
+        let term = vec![true, true, false];
+        let mut s = StratumSampler::new(3, &term, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert!(s.sample_connected(&state, &[0, 1], &[], &mut rng));
+        }
+    }
+
+    #[test]
+    fn conditional_series_probability() {
+        // Frontier vertex 1 carries terminal count 1 (terminal 0 merged in and
+        // left); terminal 2 still unseen; one remaining edge (1,2) at 0.5.
+        let state = State { comp: vec![0], tcnt: vec![1] };
+        let term = vec![true, false, true];
+        let mut s = StratumSampler::new(3, &term, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rest = [edge(1, 2, 0.5)];
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| s.sample_connected(&state, &[1], &rest, &mut rng))
+            .count();
+        let est = hits as f64 / n as f64;
+        assert!((est - 0.5).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn two_components_need_bridge() {
+        // Components {1} and {2}, each holding one terminal; edges (1,3),(3,2)
+        // must both exist: probability 0.25.
+        let state = State { comp: vec![0, 1], tcnt: vec![1, 1] };
+        let term = vec![false, true, true, false];
+        let mut s = StratumSampler::new(4, &term, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rest = [edge(1, 3, 0.5), edge(3, 2, 0.5)];
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| s.sample_connected(&state, &[1, 2], &rest, &mut rng))
+            .count();
+        let est = hits as f64 / n as f64;
+        assert!((est - 0.25).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn component_count_overrides_member_flags() {
+        // Component {1} carries count 2 even though vertex 1 is not a
+        // terminal itself (both terminals merged in and left the frontier).
+        let state = State { comp: vec![0], tcnt: vec![2] };
+        let term = vec![true, false, true, false];
+        let mut s = StratumSampler::new(4, &term, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(s.sample_connected(&state, &[1], &[], &mut rng));
+    }
+
+    #[test]
+    fn full_sampler_reports_cond_prob() {
+        let state = State { comp: vec![0], tcnt: vec![1] };
+        let term = vec![true, false, true];
+        let mut s = StratumSampler::new(3, &term, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let rest = [edge(1, 2, 0.25)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (conn, lnp, h) = s.sample_full(&state, &[1], &rest, &mut rng);
+            seen.insert(h);
+            if conn {
+                assert!((lnp - 0.25f64.ln()).abs() < 1e-12);
+            } else {
+                assert!((lnp - 0.75f64.ln()).abs() < 1e-12);
+            }
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn unseen_terminals_counted_lazily() {
+        // Empty frontier state (root-like): terminals 0 and 1 both unseen;
+        // single edge (0,1) with p=0.7 connects them.
+        let state = State { comp: vec![], tcnt: vec![] };
+        let term = vec![true, true];
+        let mut s = StratumSampler::new(2, &term, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rest = [edge(0, 1, 0.7)];
+        let n = 100_000;
+        let hits = (0..n)
+            .filter(|_| s.sample_connected(&state, &[], &rest, &mut rng))
+            .count();
+        let est = hits as f64 / n as f64;
+        assert!((est - 0.7).abs() < 0.01, "estimate {est}");
+    }
+}

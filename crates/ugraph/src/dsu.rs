@@ -1,0 +1,164 @@
+//! Union-find (disjoint set union) with union-by-size and path halving.
+//!
+//! Connectivity checks dominate the sampling hot path, so the structure is
+//! reusable: [`Dsu::reset`] restores the all-singletons state without
+//! reallocating.
+
+/// Disjoint-set forest over `0..len`.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// All-singletons structure over `len` elements.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "Dsu supports at most 2^32-1 elements");
+        Dsu { parent: (0..len as u32).collect(), size: vec![1; len], components: len }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    #[inline]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Restore the all-singletons state (no reallocation).
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.size.fill(1);
+        self.components = self.parent.len();
+    }
+
+    /// Representative of `x`'s component (path halving).
+    #[inline]
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the components of `a` and `b`. Returns the surviving root if a
+    /// merge happened, or `None` if they were already connected.
+    #[inline]
+    pub fn union(&mut self, a: usize, b: usize) -> Option<usize> {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        Some(ra)
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    #[inline]
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s component.
+    #[inline]
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.components(), 5);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+        for i in 0..5 {
+            assert_eq!(d.find(i), i);
+            assert_eq!(d.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut d = Dsu::new(6);
+        assert!(d.union(0, 1).is_some());
+        assert!(d.union(2, 3).is_some());
+        assert!(d.union(1, 2).is_some());
+        assert!(d.union(0, 3).is_none()); // already joined
+        assert!(d.connected(0, 3));
+        assert!(!d.connected(0, 4));
+        assert_eq!(d.components(), 3);
+        assert_eq!(d.component_size(2), 4);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut d = Dsu::new(4);
+        d.union(0, 1);
+        d.union(2, 3);
+        d.reset();
+        assert_eq!(d.components(), 4);
+        assert!(!d.connected(0, 1));
+        assert_eq!(d.component_size(0), 1);
+    }
+
+    #[test]
+    fn union_returns_surviving_root() {
+        let mut d = Dsu::new(4);
+        d.union(0, 1);
+        d.union(0, 2); // component {0,1,2} has size 3
+        let root = d.union(0, 3).unwrap();
+        assert_eq!(root, d.find(1));
+        assert_eq!(root, d.find(3));
+    }
+
+    #[test]
+    fn empty_dsu() {
+        let d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.components(), 0);
+    }
+
+    #[test]
+    fn chain_path_halving() {
+        let n = 1000;
+        let mut d = Dsu::new(n);
+        for i in 0..n - 1 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.components(), 1);
+        for i in 0..n {
+            assert!(d.connected(0, i));
+        }
+    }
+}

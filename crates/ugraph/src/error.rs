@@ -1,0 +1,69 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+/// Errors raised while building or querying uncertain graphs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// A vertex id was at least the vertex count.
+    VertexOutOfRange {
+        /// Offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// An edge connected a vertex to itself (simple graphs only).
+    SelfLoop {
+        /// The looped vertex.
+        vertex: usize,
+    },
+    /// The same vertex pair appeared twice (simple graphs only).
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// An edge probability was outside `(0, 1]`.
+    InvalidProbability {
+        /// Edge endpoints.
+        u: usize,
+        /// Edge endpoints.
+        v: usize,
+        /// Offending probability.
+        p: f64,
+    },
+    /// A terminal set was empty or referenced missing vertices.
+    InvalidTerminals {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The operation requires a connected graph.
+    Disconnected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} not allowed in a simple uncertain graph")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v}) not allowed in a simple uncertain graph")
+            }
+            GraphError::InvalidProbability { u, v, p } => {
+                write!(f, "edge ({u}, {v}) has probability {p} outside (0, 1]")
+            }
+            GraphError::InvalidTerminals { reason } => write!(f, "invalid terminals: {reason}"),
+            GraphError::Disconnected => write!(f, "operation requires a connected graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

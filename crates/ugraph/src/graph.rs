@@ -1,0 +1,294 @@
+//! The core uncertain-graph type.
+
+use crate::error::{GraphError, Result};
+
+/// Vertex identifier (dense, `0..num_vertices`).
+pub type VertexId = usize;
+/// Edge identifier (dense, `0..num_edges`, in insertion order).
+pub type EdgeId = usize;
+
+/// An undirected uncertain edge `(u, v)` with existence probability `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UEdge {
+    /// First endpoint (always `<= v` after normalization).
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Existence probability in `(0, 1]`.
+    pub p: f64,
+}
+
+impl UEdge {
+    /// The endpoint opposite to `w`; panics if `w` is not an endpoint.
+    #[inline]
+    pub fn other(&self, w: VertexId) -> VertexId {
+        if w == self.u {
+            self.v
+        } else {
+            debug_assert_eq!(w, self.v);
+            self.u
+        }
+    }
+}
+
+/// A connected, undirected, simple uncertain graph (paper §3.1).
+///
+/// Construction validates vertex ranges, rejects self-loops and duplicate
+/// edges, and requires probabilities in `(0, 1]`. Connectivity is *not*
+/// enforced at construction (subgraphs produced by decomposition are built
+/// through the same path); use [`UncertainGraph::is_connected`] where the
+/// paper assumes it.
+#[derive(Clone, Debug)]
+pub struct UncertainGraph {
+    n: usize,
+    edges: Vec<UEdge>,
+    /// adjacency: for each vertex, `(neighbor, edge id)` pairs.
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+}
+
+impl UncertainGraph {
+    /// Build a graph with `n` vertices from an edge list.
+    pub fn new(n: usize, edge_list: impl IntoIterator<Item = (usize, usize, f64)>) -> Result<Self> {
+        let mut edges = Vec::new();
+        let mut adj = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for (u, v, p) in edge_list {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, vertices: n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, vertices: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { vertex: u });
+            }
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(GraphError::InvalidProbability { u, v, p });
+            }
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            if !seen.insert((a, b)) {
+                return Err(GraphError::DuplicateEdge { u: a, v: b });
+            }
+            let id = edges.len();
+            edges.push(UEdge { u: a, v: b, p });
+            adj[a].push((b, id));
+            adj[b].push((a, id));
+        }
+        Ok(UncertainGraph { n, edges, adj })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> UEdge {
+        self.edges[e]
+    }
+
+    /// All edges in id order.
+    #[inline]
+    pub fn edges(&self) -> &[UEdge] {
+        &self.edges
+    }
+
+    /// Existence probability of edge `e`.
+    #[inline]
+    pub fn prob(&self, e: EdgeId) -> f64 {
+        self.edges[e].p
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Average vertex degree (`2|E|/|V|`).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Mean edge existence probability.
+    pub fn avg_prob(&self) -> f64 {
+        if self.edges.is_empty() {
+            0.0
+        } else {
+            self.edges.iter().map(|e| e.p).sum::<f64>() / self.edges.len() as f64
+        }
+    }
+
+    /// Whether the graph (ignoring probabilities) is connected.
+    /// Vacuously true for `n <= 1`.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        crate::traversal::connected_component(self, 0).len() == self.n
+    }
+
+    /// Validate a terminal set: non-empty, in range, no duplicates.
+    /// Returns a sorted, deduplicated copy.
+    pub fn validate_terminals(&self, terminals: &[VertexId]) -> Result<Vec<VertexId>> {
+        if terminals.is_empty() {
+            return Err(GraphError::InvalidTerminals { reason: "terminal set is empty".into() });
+        }
+        let mut t = terminals.to_vec();
+        t.sort_unstable();
+        t.dedup();
+        if let Some(&bad) = t.iter().find(|&&v| v >= self.n) {
+            return Err(GraphError::InvalidTerminals {
+                reason: format!("terminal {bad} out of range (graph has {} vertices)", self.n),
+            });
+        }
+        Ok(t)
+    }
+
+    /// The vertex-induced subgraph on `keep` (a set of vertex ids), with
+    /// vertices renumbered densely. Returns the subgraph and the old→new
+    /// vertex mapping (entries for dropped vertices are `None`).
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (UncertainGraph, Vec<Option<VertexId>>) {
+        assert_eq!(keep.len(), self.n);
+        let mut map = vec![None; self.n];
+        let mut next = 0usize;
+        for v in 0..self.n {
+            if keep[v] {
+                map[v] = Some(next);
+                next += 1;
+            }
+        }
+        let edge_list: Vec<(usize, usize, f64)> = self
+            .edges
+            .iter()
+            .filter_map(|e| match (map[e.u], map[e.v]) {
+                (Some(a), Some(b)) => Some((a, b, e.p)),
+                _ => None,
+            })
+            .collect();
+        let g = UncertainGraph::new(next, edge_list)
+            .expect("induced subgraph of a valid graph is valid");
+        (g, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> UncertainGraph {
+        UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.6), (0, 2, 0.7)]).unwrap()
+    }
+
+    #[test]
+    fn builds_and_reads_back() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.prob(1), 0.6);
+        assert_eq!(g.edge(0).u, 0);
+        assert_eq!(g.edge(0).v, 1);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edge_endpoints_normalized() {
+        let g = UncertainGraph::new(3, [(2, 0, 0.5)]).unwrap();
+        assert_eq!(g.edge(0).u, 0);
+        assert_eq!(g.edge(0).v, 2);
+        assert_eq!(g.edge(0).other(0), 2);
+        assert_eq!(g.edge(0).other(2), 0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            UncertainGraph::new(2, [(0, 2, 0.5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+        assert!(matches!(
+            UncertainGraph::new(2, [(1, 1, 0.5)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        assert!(matches!(
+            UncertainGraph::new(2, [(0, 1, 0.0)]),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            UncertainGraph::new(2, [(0, 1, 1.5)]),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            UncertainGraph::new(2, [(0, 1, 0.5), (1, 0, 0.4)]),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+    }
+
+    #[test]
+    fn prob_one_allowed() {
+        assert!(UncertainGraph::new(2, [(0, 1, 1.0)]).is_ok());
+    }
+
+    #[test]
+    fn averages() {
+        let g = triangle();
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+        assert!((g.avg_prob() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (2, 3, 0.5)]).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn terminals_validation() {
+        let g = triangle();
+        assert_eq!(g.validate_terminals(&[2, 0, 2]).unwrap(), vec![0, 2]);
+        assert!(g.validate_terminals(&[]).is_err());
+        assert!(g.validate_terminals(&[5]).is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.8)])
+            .unwrap();
+        let keep = vec![true, false, true, true];
+        let (sub, map) = g.induced_subgraph(&keep);
+        assert_eq!(sub.num_vertices(), 3);
+        // Only edges (2,3) and (0,3) survive.
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[1], None);
+        assert_eq!(map[2], Some(1));
+        assert_eq!(map[3], Some(2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::new(0, []).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.avg_prob(), 0.0);
+    }
+}

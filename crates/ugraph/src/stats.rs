@@ -1,0 +1,80 @@
+//! Summary statistics for uncertain graphs (paper Table 2 columns).
+
+use crate::graph::UncertainGraph;
+
+/// Dataset statistics as reported in the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Mean edge existence probability.
+    pub avg_prob: f64,
+    /// Minimum edge existence probability.
+    pub min_prob: f64,
+    /// Maximum edge existence probability.
+    pub max_prob: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn compute(g: &UncertainGraph) -> Self {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in g.edges() {
+            lo = lo.min(e.p);
+            hi = hi.max(e.p);
+        }
+        if g.num_edges() == 0 {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        GraphStats {
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            avg_prob: g.avg_prob(),
+            min_prob: lo,
+            max_prob: hi,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.2} avg_prob={:.3}",
+            self.vertices, self.edges, self.avg_degree, self.avg_prob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_triangle() {
+        let g = UncertainGraph::new(3, [(0, 1, 0.2), (1, 2, 0.4), (0, 2, 0.9)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert!((s.avg_prob - 0.5).abs() < 1e-12);
+        assert_eq!(s.min_prob, 0.2);
+        assert_eq!(s.max_prob, 0.9);
+        let txt = format!("{s}");
+        assert!(txt.contains("|V|=3"));
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g = UncertainGraph::new(2, []).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.min_prob, 0.0);
+        assert_eq!(s.max_prob, 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal terminal-spanning subtree of a forest.
+//!
+//! Within the contracted bridge forest, the minimum Steiner tree for the
+//! terminal super-vertices is obtained by iteratively pruning non-terminal
+//! leaves (the paper computes it "by a depth first search from a terminal";
+//! leaf pruning is the equivalent linear-time formulation).
+
+/// Result of Steiner pruning on a forest.
+#[derive(Clone, Debug)]
+pub struct SteinerTree {
+    /// `keep_node[v]` — the node is on the minimal subtree spanning the
+    /// terminals of its tree (terminal-free trees are pruned entirely).
+    pub keep_node: Vec<bool>,
+    /// Edge ids (as supplied in the adjacency) that lie on kept paths.
+    pub keep_edge: Vec<usize>,
+}
+
+/// Prune non-terminal leaves of a forest until only the minimal subtrees
+/// spanning the terminals remain.
+///
+/// `adj[v]` lists `(neighbor, edge_id)` pairs; the structure must be a forest
+/// (this is asserted in debug builds via the handshake count). Edge ids may
+/// be arbitrary distinct labels; kept ones are returned sorted.
+pub fn steiner_subtree(adj: &[Vec<(usize, usize)>], is_terminal: &[bool]) -> SteinerTree {
+    let n = adj.len();
+    assert_eq!(is_terminal.len(), n);
+    let mut deg: Vec<usize> = adj.iter().map(|a| a.len()).collect();
+    debug_assert!(deg.iter().sum::<usize>() / 2 < n.max(1), "input must be a forest");
+    let mut removed = vec![false; n];
+    let mut queue: Vec<usize> =
+        (0..n).filter(|&v| deg[v] <= 1 && !is_terminal[v]).collect();
+    while let Some(v) = queue.pop() {
+        if removed[v] {
+            continue;
+        }
+        removed[v] = true;
+        for &(w, _) in &adj[v] {
+            if !removed[w] {
+                deg[w] -= 1;
+                if deg[w] <= 1 && !is_terminal[w] {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    let keep_node: Vec<bool> = removed.iter().map(|&r| !r).collect();
+    let mut keep_edge = Vec::new();
+    for v in 0..n {
+        if !keep_node[v] {
+            continue;
+        }
+        for &(w, eid) in &adj[v] {
+            if keep_node[w] && v < w {
+                keep_edge.push(eid);
+            } else if keep_node[w] && v == w {
+                // self-loops cannot occur in a forest
+                debug_assert!(false, "self-loop in forest");
+            }
+        }
+    }
+    keep_edge.sort_unstable();
+    SteinerTree { keep_node, keep_edge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build adjacency from (u, v, edge_id) triples.
+    fn adj_of(n: usize, edges: &[(usize, usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v, id) in edges {
+            adj[u].push((v, id));
+            adj[v].push((u, id));
+        }
+        adj
+    }
+
+    #[test]
+    fn path_with_terminal_endpoints() {
+        // 0-1-2-3-4, terminals {0, 4}: everything kept.
+        let adj = adj_of(5, &[(0, 1, 0), (1, 2, 1), (2, 3, 2), (3, 4, 3)]);
+        let t = vec![true, false, false, false, true];
+        let st = steiner_subtree(&adj, &t);
+        assert!(st.keep_node.iter().all(|&k| k));
+        assert_eq!(st.keep_edge, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn path_with_interior_terminals() {
+        // 0-1-2-3-4, terminals {1, 3}: endpoints pruned.
+        let adj = adj_of(5, &[(0, 1, 0), (1, 2, 1), (2, 3, 2), (3, 4, 3)]);
+        let t = vec![false, true, false, true, false];
+        let st = steiner_subtree(&adj, &t);
+        assert_eq!(st.keep_node, vec![false, true, true, true, false]);
+        assert_eq!(st.keep_edge, vec![1, 2]);
+    }
+
+    #[test]
+    fn star_keeps_only_terminal_arms() {
+        // Star: center 0, leaves 1..5; terminals {1, 2}.
+        let adj = adj_of(6, &[(0, 1, 10), (0, 2, 20), (0, 3, 30), (0, 4, 40), (0, 5, 50)]);
+        let t = vec![false, true, true, false, false, false];
+        let st = steiner_subtree(&adj, &t);
+        assert_eq!(st.keep_node, vec![true, true, true, false, false, false]);
+        assert_eq!(st.keep_edge, vec![10, 20]);
+    }
+
+    #[test]
+    fn single_terminal_keeps_just_it() {
+        let adj = adj_of(4, &[(0, 1, 0), (1, 2, 1), (2, 3, 2)]);
+        let t = vec![false, false, true, false];
+        let st = steiner_subtree(&adj, &t);
+        assert_eq!(st.keep_node, vec![false, false, true, false]);
+        assert!(st.keep_edge.is_empty());
+    }
+
+    #[test]
+    fn terminal_free_tree_fully_pruned() {
+        let adj = adj_of(3, &[(0, 1, 0), (1, 2, 1)]);
+        let t = vec![false, false, false];
+        let st = steiner_subtree(&adj, &t);
+        assert!(st.keep_node.iter().all(|&k| !k));
+        assert!(st.keep_edge.is_empty());
+    }
+
+    #[test]
+    fn forest_with_terminals_in_two_trees() {
+        // Tree A: 0-1 (terminal 0); tree B: 2-3-4 (terminal 4).
+        let adj = adj_of(5, &[(0, 1, 0), (2, 3, 1), (3, 4, 2)]);
+        let t = vec![true, false, false, false, true];
+        let st = steiner_subtree(&adj, &t);
+        assert_eq!(st.keep_node, vec![true, false, false, false, true]);
+        assert!(st.keep_edge.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Breadth-first traversal helpers.
+
+use crate::graph::{UncertainGraph, VertexId};
+
+/// Vertices reachable from `start` (including `start`), in BFS order.
+pub fn connected_component(g: &UncertainGraph, start: VertexId) -> Vec<VertexId> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        out.push(v);
+        for &(w, _) in g.neighbors(v) {
+            if !seen[w] {
+                seen[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+/// Component id per vertex (`0..k` for `k` components) and the component count.
+pub fn connected_components(g: &UncertainGraph) -> (Vec<usize>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _) in g.neighbors(v) {
+                if comp[w] == usize::MAX {
+                    comp[w] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Whether all `terminals` lie in one component of `g` (ignoring
+/// probabilities). Terminal sets of size 0 or 1 are vacuously connected.
+pub fn terminals_connected_certain(g: &UncertainGraph, terminals: &[VertexId]) -> bool {
+    match terminals {
+        [] | [_] => true,
+        [first, rest @ ..] => {
+            let comp = connected_component(g, *first);
+            let mut mask = vec![false; g.num_vertices()];
+            for v in comp {
+                mask[v] = true;
+            }
+            rest.iter().all(|&t| mask[t])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UncertainGraph;
+
+    fn two_triangles() -> UncertainGraph {
+        UncertainGraph::new(
+            6,
+            [
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+                (0, 2, 0.5),
+                (3, 4, 0.5),
+                (4, 5, 0.5),
+                (3, 5, 0.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn component_from_start() {
+        let g = two_triangles();
+        let mut c = connected_component(&g, 1);
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn component_ids() {
+        let g = two_triangles();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn terminal_connectivity() {
+        let g = two_triangles();
+        assert!(terminals_connected_certain(&g, &[0, 1, 2]));
+        assert!(!terminals_connected_certain(&g, &[0, 3]));
+        assert!(terminals_connected_certain(&g, &[4]));
+        assert!(terminals_connected_certain(&g, &[]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Exact vs. approximate: watch the bounds tighten and the sample budget
+//! shrink as the S2BDD width grows (the mechanism behind the paper's
+//! Theorems 1–2 and Figure 5).
+//!
+//! Run with: `cargo run --release --example exact_vs_approx`
+
+use network_reliability::prelude::*;
+use network_reliability::datasets::karate::karate;
+
+fn main() {
+    // The paper's accuracy dataset: the Zachary karate club with uniformly
+    // random edge probabilities.
+    let g = karate(2024);
+    let terminals = vec![0, 16, 25, 33, 5];
+    println!("graph: {} (k = {})\n", GraphStats::compute(&g), terminals.len());
+
+    let exact = exact_reliability(&g, &terminals).unwrap();
+    println!("exact reliability R = {exact:.6}\n");
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "width w", "R^", "lower", "upper", "gap", "s' final", "deleted"
+    );
+    for w in [1usize, 4, 16, 64, 256, 1024, 4096] {
+        let r = S2Bdd::solve(
+            &g,
+            &terminals,
+            S2BddConfig { max_width: w, samples: 20_000, seed: 1, ..Default::default() },
+        )
+        .unwrap();
+        println!(
+            "{:>8} {:>12.6} {:>12.6} {:>12.6} {:>10.2e} {:>10} {:>8}",
+            w,
+            r.estimate,
+            r.lower_bound,
+            r.upper_bound,
+            r.bound_gap(),
+            r.s_prime_final,
+            r.deleted_nodes
+        );
+        assert!(r.lower_bound <= exact + 1e-12 && exact <= r.upper_bound + 1e-12);
+    }
+
+    println!(
+        "\nAs w grows the S2BDD resolves more mass exactly: the proven interval\n\
+         [p_c, 1-p_d] collapses onto R, the reduced budget s' falls (Theorem 1),\n\
+         and at sufficient width no node is deleted at all — the answer is exact."
+    );
+
+    // And the estimator comparison of the paper's Tables 3–4.
+    println!("\nestimators at w = 16, s = 20000:");
+    for (name, est) in [
+        ("Monte Carlo", EstimatorKind::MonteCarlo),
+        ("Horvitz-Thompson", EstimatorKind::HorvitzThompson),
+    ] {
+        let r = S2Bdd::solve(
+            &g,
+            &terminals,
+            S2BddConfig {
+                max_width: 16,
+                samples: 20_000,
+                estimator: est,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "  {:<18} R^ = {:.6}   |error| = {:.6}",
+            name,
+            r.estimate,
+            (r.estimate - exact).abs()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Protein-complex reliability (the paper's §1 motivating application).
+//!
+//! Protein–protein interaction networks are uncertain: an interaction is
+//! observed with a confidence score, not a certainty. Analysts ask how
+//! likely a *set* of proteins is to form a connected module — exactly the
+//! k-terminal reliability of the score-weighted interaction graph.
+//!
+//! This example generates a Hit-direct-like synthetic PPI network, picks
+//! candidate complexes of increasing size, and ranks them by reliability,
+//! comparing the paper's approach against flat Monte Carlo at equal sample
+//! budgets.
+//!
+//! Run with: `cargo run --release --example protein_complex`
+
+use network_reliability::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    // A scaled-down protein-interaction network (≈ 550 proteins, avg degree
+    // ≈ 27 like the paper's Hit-direct dataset).
+    let g = Dataset::HitD.generate(0.03, 7);
+    let stats = GraphStats::compute(&g);
+    println!("synthetic PPI network: {stats}\n");
+
+    let mut rng = StdRng::seed_from_u64(99);
+    println!(
+        "{:<28} {:>4} {:>12} {:>12} {:>10} {:>10}",
+        "candidate complex", "k", "Pro R^", "MC R^", "Pro ms", "MC ms"
+    );
+
+    for k in [3usize, 5, 8] {
+        // Candidate module: a random protein plus nearby interactors.
+        let seedp = rng.gen_range(0..g.num_vertices());
+        let mut members = vec![seedp];
+        let mut cursor = 0;
+        while members.len() < k && cursor < members.len() {
+            let v = members[cursor];
+            cursor += 1;
+            for &(w, _) in g.neighbors(v) {
+                if members.len() < k && !members.contains(&w) {
+                    members.push(w);
+                }
+            }
+        }
+        if members.len() < k {
+            continue;
+        }
+
+        let t0 = Instant::now();
+        let pro = pro_reliability(
+            &g,
+            &members,
+            ProConfig {
+                s2bdd: S2BddConfig { samples: 2_000, max_width: 2_000, seed: 5, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pro_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mc = sample_reliability(
+            &g,
+            &members,
+            SamplingConfig { samples: 2_000, seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        let mc_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let label: Vec<String> = members.iter().take(4).map(|v| format!("p{v}")).collect();
+        println!(
+            "{:<28} {:>4} {:>12.5} {:>12.5} {:>10.1} {:>10.1}",
+            format!("{{{}, …}}", label.join(", ")),
+            k,
+            pro.estimate,
+            mc.estimate,
+            pro_ms,
+            mc_ms
+        );
+        println!(
+            "{:<28} {:>4} proven bounds [{:.5}, {:.5}]  samples used {} / {}",
+            "", "", pro.lower_bound, pro.upper_bound, pro.samples_used, 2_000
+        );
+    }
+
+    println!(
+        "\nInterpretation: high-reliability candidate complexes are likelier to\n\
+         be real functional modules; the S2BDD bounds show how much of the\n\
+         answer was *proven* rather than sampled."
+    );
+}

@@ -1,0 +1,97 @@
+//! Road-network resilience (the paper's urban-planning application, §1).
+//!
+//! Model a city road grid as an uncertain graph where each segment survives
+//! a disruption (flood, congestion collapse) independently, and ask: how
+//! reliably do the hospital, the depot, and the shelter stay mutually
+//! reachable? Planners compare reinforcement strategies by their effect on
+//! the k-terminal reliability.
+//!
+//! This example demonstrates the extension technique's leverage on
+//! road-like graphs (Table 5 reports Tokyo shrinking to 42% and NYC to 28%
+//! of the original edges) and uses the exact solver made feasible by it.
+//!
+//! Run with: `cargo run --release --example road_resilience`
+
+use network_reliability::prelude::*;
+use network_reliability::preprocessing::{preprocess, PreprocessConfig};
+use std::time::Instant;
+
+fn main() {
+    // A Tokyo-like road grid, scaled to ~1300 intersections. The dataset's
+    // native probabilities model long-run availability (avg ≈ 0.4), which
+    // is the paper's regime; for a single-event disruption analysis we map
+    // them onto per-segment storm-survival odds of 90–99.9%.
+    let topo = Dataset::Tokyo.generate(0.05, 11);
+    let g = UncertainGraph::new(
+        topo.num_vertices(),
+        topo.edges().iter().map(|e| (e.u, e.v, 0.90 + 0.099 * e.p)),
+    )
+    .expect("remapped probabilities stay in (0, 1]");
+    let stats = GraphStats::compute(&g);
+    println!("road network: {stats}");
+
+    // Hospital, depot, shelter: a few blocks apart in the same district
+    // (city-scale terminal sets on a lossy grid have reliability ~0; the
+    // interesting planning question is district-scale).
+    let n = g.num_vertices();
+    let side = (n as f64).sqrt() as usize;
+    let center = side * (side / 2) + side / 2;
+    let terminals = vec![center, center + 2, center + 2 * side + 1];
+    println!("terminals (hospital/depot/shelter): {terminals:?}\n");
+
+    // How much does the extension technique shrink the problem?
+    let t0 = Instant::now();
+    let pre = preprocess(&g, &terminals, PreprocessConfig::default()).unwrap();
+    let pre_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "extension technique: {} edges -> {} parts, largest {} edges \
+         (ratio {:.3}) in {:.2} ms",
+        pre.stats.original_edges,
+        pre.stats.num_parts,
+        pre.stats.max_part_edges,
+        pre.stats.reduced_ratio,
+        pre_ms
+    );
+
+    // Baseline reliability with the paper's approach.
+    let cfg = ProConfig {
+        s2bdd: S2BddConfig { samples: 5_000, max_width: 5_000, seed: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let t1 = Instant::now();
+    let base = pro_reliability(&g, &terminals, cfg).unwrap();
+    let base_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "\nbaseline reliability: R^ = {:.4} in [{:.4}, {:.4}]{} ({:.1} ms)\n",
+        base.estimate,
+        base.lower_bound,
+        base.upper_bound,
+        if base.exact { " exact" } else { "" },
+        base_ms
+    );
+
+    // Reinforcement strategy: upgrade the 10 most failure-prone segments on
+    // the pruned core (raise survival probability to 0.99) and re-evaluate.
+    let mut ranked: Vec<(usize, f64)> =
+        g.edges().iter().enumerate().map(|(i, e)| (i, e.p)).collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let upgrades: Vec<usize> = ranked.iter().take(10).map(|&(i, _)| i).collect();
+    let reinforced = UncertainGraph::new(
+        g.num_vertices(),
+        g.edges().iter().enumerate().map(|(i, e)| {
+            let p = if upgrades.contains(&i) { 0.99 } else { e.p };
+            (e.u, e.v, p)
+        }),
+    )
+    .unwrap();
+    let after = pro_reliability(&reinforced, &terminals, cfg).unwrap();
+    println!(
+        "after reinforcing 10 weakest segments: R^ = {:.4} in [{:.4}, {:.4}]",
+        after.estimate, after.lower_bound, after.upper_bound
+    );
+    println!(
+        "reliability gain: {:+.4} ({:+.1}%)",
+        after.estimate - base.estimate,
+        100.0 * (after.estimate - base.estimate) / base.estimate.max(1e-12)
+    );
+}

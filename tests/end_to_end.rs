@@ -1,0 +1,208 @@
+//! End-to-end integration tests: datasets → preprocessing → solvers,
+//! cross-validating the independent implementations against each other.
+
+use network_reliability::bdd::{brute_force_reliability, FullBdd, FullBddConfig};
+use network_reliability::datasets::karate::{karate, karate_fixed};
+use network_reliability::graph::UncertainGraph as UG;
+use network_reliability::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The dense core of the karate club (vertices 0..22 induced): small enough
+/// for sub-second exact solves in test builds, structurally still a social
+/// graph.
+fn karate_core(seed: u64) -> UG {
+    let g = karate(seed);
+    let keep: Vec<bool> = (0..g.num_vertices()).map(|v| v < 22).collect();
+    g.induced_subgraph(&keep).0
+}
+
+/// Pick `k` distinct random terminals, like the paper's experiment driver.
+fn random_terminals(g: &UncertainGraph, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = std::collections::BTreeSet::new();
+    while t.len() < k {
+        t.insert(rng.gen_range(0..g.num_vertices()));
+    }
+    t.into_iter().collect()
+}
+
+#[test]
+fn four_solvers_agree_on_small_graphs() {
+    // brute force, materialized BDD, unbounded S2BDD, and Pro-exact are four
+    // distinct code paths; they must agree to 1e-10 on anything tiny.
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..20 {
+        let n = rng.gen_range(4..8);
+        let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(12));
+        let mut edges = std::collections::BTreeMap::new();
+        while edges.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.insert((u.min(v), u.max(v)), rng.gen_range(0.05..1.0f64));
+            }
+        }
+        let g = UncertainGraph::new(n, edges.iter().map(|(&(u, v), &p)| (u, v, p))).unwrap();
+        let t = random_terminals(&g, 2 + trial % 3, trial as u64);
+
+        let brute = brute_force_reliability(&g, &t);
+        let full = FullBdd::build(&g, &t, FullBddConfig::default()).unwrap().reliability;
+        let s2 = S2Bdd::solve(&g, &t, S2BddConfig::exact()).unwrap().estimate;
+        let pro = exact_reliability(&g, &t).unwrap();
+
+        assert!((brute - full).abs() < 1e-10, "trial {trial}: brute {brute} vs full {full}");
+        assert!((brute - s2).abs() < 1e-10, "trial {trial}: brute {brute} vs s2bdd {s2}");
+        assert!((brute - pro).abs() < 1e-10, "trial {trial}: brute {brute} vs pro {pro}");
+    }
+}
+
+#[test]
+fn karate_exact_vs_paper_figure_anchor() {
+    // With all edges at 0.7 (the paper's running example probability), the
+    // exact solver must agree across both exact implementations (on the
+    // karate core; the full graph's diagram is too large for a unit test).
+    let g = {
+        let full = karate_fixed(0.7);
+        let keep: Vec<bool> = (0..full.num_vertices()).map(|v| v < 22).collect();
+        full.induced_subgraph(&keep).0
+    };
+    let t = vec![0, 21, 16];
+    let full = FullBdd::build(&g, &t, FullBddConfig::default()).unwrap().reliability;
+    let s2 = exact_reliability(&g, &t).unwrap();
+    assert!((full - s2).abs() < 1e-10, "{full} vs {s2}");
+    assert!(full > 0.0 && full < 1.0);
+}
+
+#[test]
+fn pro_approximation_close_to_exact_on_karate() {
+    let g = karate_core(1);
+    for k in [2usize, 5, 10] {
+        let t = random_terminals(&g, k, 100 + k as u64);
+        let exact = exact_reliability(&g, &t).unwrap();
+        let r = pro_reliability(
+            &g,
+            &t,
+            ProConfig {
+                s2bdd: S2BddConfig { max_width: 64, samples: 50_000, seed: 9, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.lower_bound <= exact + 1e-9 && exact <= r.upper_bound + 1e-9, "k={k}");
+        assert!((r.estimate - exact).abs() < 0.05, "k={k}: {} vs {exact}", r.estimate);
+    }
+}
+
+#[test]
+fn amrv_like_graph_computed_exactly_by_pro() {
+    // Table 4's phenomenon: the affiliation graph is so bridge-heavy that
+    // preprocessing + S2BDD resolves it exactly at the default width.
+    let g = Dataset::AmRv.generate(1.0, 3);
+    for k in [5usize, 10, 20] {
+        let t = random_terminals(&g, k, k as u64);
+        let r = pro_reliability(&g, &t, ProConfig::paper_default(1)).unwrap();
+        assert!(r.exact, "k={k}: Pro should be exact on Am-Rv-like graphs");
+        assert!(r.upper_bound - r.lower_bound < 1e-9);
+    }
+}
+
+#[test]
+fn sampling_baseline_brackets_pro_on_dblp_like_graph() {
+    // A scaled DBLP stand-in: Pro and the MC baseline must agree within
+    // combined sampling error.
+    let g = Dataset::Dblp1.generate(0.02, 5);
+    let t = random_terminals(&g, 5, 77);
+    let pro = pro_reliability(
+        &g,
+        &t,
+        ProConfig {
+            s2bdd: S2BddConfig { samples: 3_000, max_width: 3_000, seed: 4, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mc = sample_reliability(
+        &g,
+        &t,
+        SamplingConfig { samples: 30_000, seed: 4, ..Default::default() },
+    )
+    .unwrap();
+    let sigma = (pro.variance_estimate + mc.variance_estimate).sqrt();
+    assert!(
+        (pro.estimate - mc.estimate).abs() < 6.0 * sigma + 0.02,
+        "pro {} vs mc {} (sigma {sigma})",
+        pro.estimate,
+        mc.estimate
+    );
+    assert!(pro.lower_bound <= mc.estimate + 6.0 * sigma + 0.02);
+    assert!(pro.upper_bound >= mc.estimate - 6.0 * sigma - 0.02);
+}
+
+#[test]
+fn road_network_pipeline_smoke() {
+    let g = Dataset::Tokyo.generate(0.02, 6);
+    let t = random_terminals(&g, 10, 8);
+    let r = pro_reliability(
+        &g,
+        &t,
+        ProConfig {
+            s2bdd: S2BddConfig { samples: 1_000, max_width: 2_000, seed: 2, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((0.0..=1.0).contains(&r.estimate));
+    assert!(r.lower_bound <= r.estimate && r.estimate <= r.upper_bound);
+    // Road networks shrink substantially under the extension technique.
+    assert!(r.preprocess_stats.reduced_ratio < 0.9, "ratio {}", r.preprocess_stats.reduced_ratio);
+}
+
+#[test]
+fn hitd_like_graph_runs_within_budget() {
+    let g = Dataset::HitD.generate(0.01, 9);
+    let t = random_terminals(&g, 5, 21);
+    let r = pro_reliability(
+        &g,
+        &t,
+        ProConfig {
+            s2bdd: S2BddConfig { samples: 500, max_width: 500, seed: 6, ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!((0.0..=1.0).contains(&r.estimate));
+    assert!(r.samples_used <= 500 * r.parts.len().max(1) + r.parts.len());
+}
+
+#[test]
+fn estimators_agree_within_error_on_karate() {
+    let g = karate_core(4);
+    let t = random_terminals(&g, 5, 13);
+    let exact = exact_reliability(&g, &t).unwrap();
+    for est in [EstimatorKind::MonteCarlo, EstimatorKind::HorvitzThompson] {
+        let r = S2Bdd::solve(
+            &g,
+            &t,
+            S2BddConfig { max_width: 32, samples: 50_000, estimator: est, seed: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert!((r.estimate - exact).abs() < 0.05, "{est:?}: {} vs {exact}", r.estimate);
+    }
+}
+
+#[test]
+fn dataset_edge_list_io_roundtrip() {
+    use network_reliability::datasets::io::{read_edge_list, write_edge_list};
+    let g = Dataset::AmRv.generate(1.0, 2);
+    let mut buf = Vec::new();
+    write_edge_list(&g, &mut buf).unwrap();
+    let g2 = read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g.num_vertices(), g2.num_vertices());
+    assert_eq!(g.edges(), g2.edges());
+    // Reliability is identical on the roundtripped graph.
+    let t = random_terminals(&g, 4, 99);
+    let a = exact_reliability(&g, &t).unwrap();
+    let b = exact_reliability(&g2, &t).unwrap();
+    assert_eq!(a, b);
+}
