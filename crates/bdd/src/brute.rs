@@ -19,7 +19,10 @@ pub fn brute_force_reliability(g: &UncertainGraph, terminals: &[VertexId]) -> f6
         return 1.0;
     }
     let m = g.num_edges();
-    assert!(m <= MAX_EDGES, "brute force limited to {MAX_EDGES} edges, got {m}");
+    assert!(
+        m <= MAX_EDGES,
+        "brute force limited to {MAX_EDGES} edges, got {m}"
+    );
     let k = t.len() as u32;
     let mut dsu = Dsu::new(g.num_vertices());
     let mut tcount = vec![0u32; g.num_vertices()];
@@ -92,7 +95,10 @@ mod tests {
     fn three_terminals_on_star() {
         // Star center 3, leaves 0,1,2; terminals leaves: all three spokes needed.
         let g = UncertainGraph::new(4, [(0, 3, 0.9), (1, 3, 0.8), (2, 3, 0.7)]).unwrap();
-        assert!(close(brute_force_reliability(&g, &[0, 1, 2]), 0.9 * 0.8 * 0.7));
+        assert!(close(
+            brute_force_reliability(&g, &[0, 1, 2]),
+            0.9 * 0.8 * 0.7
+        ));
     }
 
     #[test]

@@ -75,8 +75,8 @@ mod tests {
 
     #[test]
     fn arc_counts_match_nodes() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (0, 3, 0.5)]).unwrap();
         let b = FullBdd::build(&g, &[0, 2], FullBddConfig::default()).unwrap();
         let dot = to_dot(&b);
         let arcs = dot.matches(" -> ").count();

@@ -68,7 +68,7 @@ fn factor(mut st: FactorState) -> f64 {
         *q = 1.0 - (1.0 - *q) * (1.0 - p);
     }
     st.edges = merged.into_iter().map(|((u, v), p)| (u, v, p)).collect();
-    st.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    st.edges.sort_unstable_by_key(|e| (e.0, e.1));
 
     if st.classes <= 1 {
         return 1.0; // all terminals already contracted together
@@ -114,7 +114,8 @@ fn factor(mut st: FactorState) -> f64 {
                         !((x, y) == (st.edges[i].0, st.edges[i].1)
                             || (x, y) == (st.edges[j].0, st.edges[j].1))
                     });
-                    next.edges.push((other_i.min(other_j), other_i.max(other_j), p * q));
+                    next.edges
+                        .push((other_i.min(other_j), other_i.max(other_j), p * q));
                     return factor(next);
                 }
             }
@@ -130,7 +131,9 @@ fn factor(mut st: FactorState) -> f64 {
 
     // Branch 1: edge exists — contract u into v.
     let mut exist = st.clone();
-    exist.edges.retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
+    exist
+        .edges
+        .retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
     let (ru, rv) = (exist.dsu.find(u), exist.dsu.find(v));
     let tu = exist.tcnt[ru];
     let tv = exist.tcnt[rv];
@@ -143,7 +146,9 @@ fn factor(mut st: FactorState) -> f64 {
 
     // Branch 2: edge absent — delete it.
     let mut absent = st;
-    absent.edges.retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
+    absent
+        .edges
+        .retain(|&(x, y, _)| (x, y) != (u.min(v), u.max(v)));
     let r_absent = factor(absent);
 
     p * r_exist + (1.0 - p) * r_absent
@@ -178,11 +183,21 @@ mod tests {
     fn figure1_fixture() {
         let g = UncertainGraph::new(
             5,
-            [(0, 1, 0.7), (0, 2, 0.7), (1, 2, 0.7), (1, 3, 0.7), (2, 4, 0.7), (3, 4, 0.7)],
+            [
+                (0, 1, 0.7),
+                (0, 2, 0.7),
+                (1, 2, 0.7),
+                (1, 3, 0.7),
+                (2, 4, 0.7),
+                (3, 4, 0.7),
+            ],
         )
         .unwrap();
         let t = vec![0, 3, 4];
-        assert!(close(factoring_reliability(&g, &t), brute_force_reliability(&g, &t)));
+        assert!(close(
+            factoring_reliability(&g, &t),
+            brute_force_reliability(&g, &t)
+        ));
     }
 
     #[test]

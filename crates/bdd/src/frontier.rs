@@ -56,7 +56,10 @@ pub struct State {
 impl State {
     /// The empty state at layer 0.
     pub fn root() -> Self {
-        State { comp: Vec::new(), tcnt: Vec::new() }
+        State {
+            comp: Vec::new(),
+            tcnt: Vec::new(),
+        }
     }
 
     /// Number of components.
@@ -102,8 +105,7 @@ impl State {
 
     /// Heap bytes used by this state (for memory accounting).
     pub fn heap_bytes(&self) -> usize {
-        self.comp.len() * std::mem::size_of::<u16>()
-            + self.tcnt.len() * std::mem::size_of::<u32>()
+        self.comp.len() * std::mem::size_of::<u16>() + self.tcnt.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -185,27 +187,30 @@ impl FrontierMachine {
             .iter()
             .map(|&id| {
                 let e = g.edge(id);
-                LayerEdge { id, u: e.u, v: e.v, p: e.p }
+                LayerEdge {
+                    id,
+                    u: e.u,
+                    v: e.v,
+                    p: e.p,
+                }
             })
             .collect();
 
         // unseen_after[l] = #terminals whose first touch is after layer l.
         let mut unseen_after = vec![0usize; m];
         {
-            let mut firsts: Vec<usize> =
-                terminals.iter().map(|&t| plan.first_touch[t]).collect();
+            let mut firsts: Vec<usize> = terminals.iter().map(|&t| plan.first_touch[t]).collect();
             firsts.sort_unstable();
             let mut seen = 0usize;
-            for l in 0..m {
+            for (l, slot) in unseen_after.iter_mut().enumerate() {
                 while seen < firsts.len() && firsts[seen] <= l {
                     seen += 1;
                 }
-                unseen_after[l] = k - seen;
+                *slot = k - seen;
             }
         }
 
-        let isolated_terminal =
-            terminals.iter().any(|&t| plan.first_touch[t] == usize::MAX);
+        let isolated_terminal = terminals.iter().any(|&t| plan.first_touch[t] == usize::MAX);
         let trivial = if k <= 1 {
             Some(1.0)
         } else if m == 0 || isolated_terminal {
@@ -366,7 +371,11 @@ impl FrontierMachine {
     /// state aligned with [`Self::cur_frontier`]. Requires `k >= 1`.
     pub fn apply(&self, state: &State, take: bool, scratch: &mut Scratch) -> Transition {
         debug_assert!(self.k >= 1);
-        debug_assert_eq!(state.comp.len(), self.cur.len(), "state/frontier slot mismatch");
+        debug_assert_eq!(
+            state.comp.len(),
+            self.cur.len(),
+            "state/frontier slot mismatch"
+        );
         let e = self.edges[self.layer];
 
         // Extended component table: existing comps plus entries for entering
@@ -559,8 +568,17 @@ mod tests {
                 vec![0, 2],
             ),
             (
-                UncertainGraph::new(6, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (3, 4, 0.8), (4, 5, 0.9)])
-                    .unwrap(),
+                UncertainGraph::new(
+                    6,
+                    [
+                        (0, 1, 0.5),
+                        (1, 2, 0.6),
+                        (2, 3, 0.7),
+                        (3, 4, 0.8),
+                        (4, 5, 0.9),
+                    ],
+                )
+                .unwrap(),
                 vec![0, 5],
             ),
         ];
@@ -579,8 +597,14 @@ mod tests {
 
     #[test]
     fn signature_pattern_vs_exact() {
-        let a = State { comp: vec![0, 0, 1], tcnt: vec![2, 1] };
-        let b = State { comp: vec![0, 0, 1], tcnt: vec![1, 2] };
+        let a = State {
+            comp: vec![0, 0, 1],
+            tcnt: vec![2, 1],
+        };
+        let b = State {
+            comp: vec![0, 0, 1],
+            tcnt: vec![1, 2],
+        };
         let mut sa = Vec::new();
         let mut sb = Vec::new();
         a.signature(MergeRule::Pattern, &mut sa);
@@ -593,8 +617,14 @@ mod tests {
 
     #[test]
     fn signature_distinguishes_partitions() {
-        let a = State { comp: vec![0, 1], tcnt: vec![1, 1] };
-        let b = State { comp: vec![0, 0], tcnt: vec![2] };
+        let a = State {
+            comp: vec![0, 1],
+            tcnt: vec![1, 1],
+        };
+        let b = State {
+            comp: vec![0, 0],
+            tcnt: vec![2],
+        };
         let mut sa = Vec::new();
         let mut sb = Vec::new();
         a.signature(MergeRule::Pattern, &mut sa);

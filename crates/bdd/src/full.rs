@@ -154,7 +154,10 @@ impl FullBdd {
                         }
                     };
                 }
-                level.push(BddNode { lo: arc[0], hi: arc[1] });
+                level.push(BddNode {
+                    lo: arc[0],
+                    hi: arc[1],
+                });
             }
             node_count += level.len();
             if node_count > cfg.node_limit {
@@ -165,10 +168,20 @@ impl FullBdd {
             states = next_states;
             machine.advance();
         }
-        debug_assert!(states.is_empty(), "all paths must reach a sink by the last layer");
+        debug_assert!(
+            states.is_empty(),
+            "all paths must reach a sink by the last layer"
+        );
 
         let reliability = forward_mass(&layers, &probs);
-        Ok(FullBdd { layers, edge_labels, probs, reliability, node_count, peak_state_bytes })
+        Ok(FullBdd {
+            layers,
+            edge_labels,
+            probs,
+            reliability,
+            node_count,
+            peak_state_bytes,
+        })
     }
 
     /// Rough resident-memory estimate of the materialized diagram.
@@ -265,7 +278,11 @@ mod tests {
             let expect = brute_force_reliability(&g, &t);
             for rule in [MergeRule::Pattern, MergeRule::ExactCounts] {
                 for order in [EdgeOrder::Input, EdgeOrder::Bfs, EdgeOrder::Dfs] {
-                    let cfg = FullBddConfig { order, merge_rule: rule, ..Default::default() };
+                    let cfg = FullBddConfig {
+                        order,
+                        merge_rule: rule,
+                        ..Default::default()
+                    };
                     let b = FullBdd::build(&g, &t, cfg).unwrap();
                     assert!(
                         (b.reliability - expect).abs() < 1e-12,
@@ -298,13 +315,19 @@ mod tests {
         let pat = FullBdd::build(
             &g,
             &t,
-            FullBddConfig { merge_rule: MergeRule::Pattern, ..Default::default() },
+            FullBddConfig {
+                merge_rule: MergeRule::Pattern,
+                ..Default::default()
+            },
         )
         .unwrap();
         let exact = FullBdd::build(
             &g,
             &t,
-            FullBddConfig { merge_rule: MergeRule::ExactCounts, ..Default::default() },
+            FullBddConfig {
+                merge_rule: MergeRule::ExactCounts,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(pat.node_count <= exact.node_count);
@@ -330,7 +353,10 @@ mod tests {
         let err = FullBdd::build(
             &g,
             &[0, 24],
-            FullBddConfig { node_limit: 10, ..Default::default() },
+            FullBddConfig {
+                node_limit: 10,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, FullBddError::NodeLimit { built } if built > 10));
@@ -338,8 +364,8 @@ mod tests {
 
     #[test]
     fn memory_accounting_positive() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)]).unwrap();
         let b = build(&g, &[0, 2]);
         assert!(b.memory_bytes() > 0);
         assert_eq!(b.layers.len(), 4);

@@ -23,7 +23,10 @@ fn bench_s2bdd(c: &mut Criterion) {
             BenchmarkId::new("karate_core_exact", format!("{rule:?}")),
             &karate,
             |b, g| {
-                let cfg = S2BddConfig { merge_rule: rule, ..S2BddConfig::exact() };
+                let cfg = S2BddConfig {
+                    merge_rule: rule,
+                    ..S2BddConfig::exact()
+                };
                 b.iter(|| S2Bdd::solve(g, &kt, cfg).unwrap());
             },
         );
@@ -33,7 +36,11 @@ fn bench_s2bdd(c: &mut Criterion) {
     let tt = vec![5usize, 100, 300, 450, 511];
     for w in [100usize, 1_000, 10_000] {
         group.bench_with_input(BenchmarkId::new("tokyo_bounded", w), &tokyo, |b, g| {
-            let cfg = S2BddConfig { max_width: w, samples: 1_000, ..Default::default() };
+            let cfg = S2BddConfig {
+                max_width: w,
+                samples: 1_000,
+                ..Default::default()
+            };
             b.iter(|| S2Bdd::solve(g, &tt, cfg).unwrap());
         });
     }

@@ -10,9 +10,21 @@ use rand::SeedableRng;
 fn bench_world_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("world_sampling");
     for (name, g, t) in [
-        ("karate", Dataset::Karate.generate(1.0, 1), vec![0usize, 16, 33]),
-        ("dblp1_2pc", Dataset::Dblp1.generate(0.02, 1), vec![3usize, 99, 200]),
-        ("tokyo_2pc", Dataset::Tokyo.generate(0.02, 1), vec![3usize, 99, 200]),
+        (
+            "karate",
+            Dataset::Karate.generate(1.0, 1),
+            vec![0usize, 16, 33],
+        ),
+        (
+            "dblp1_2pc",
+            Dataset::Dblp1.generate(0.02, 1),
+            vec![3usize, 99, 200],
+        ),
+        (
+            "tokyo_2pc",
+            Dataset::Tokyo.generate(0.02, 1),
+            vec![3usize, 99, 200],
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("mc_early_exit", name), &g, |b, g| {
             let mut s = WorldSampler::new(g.num_vertices());

@@ -27,9 +27,19 @@ impl AccuracyConfig {
     /// Paper-fidelity (`q1 = q2 = 100`) or quick (`20 × 20`) settings.
     pub fn for_args(args: &RunArgs) -> Self {
         if args.full {
-            AccuracyConfig { q1: 100, q2: 100, samples: 10_000, width: 10_000 }
+            AccuracyConfig {
+                q1: 100,
+                q2: 100,
+                samples: 10_000,
+                width: 10_000,
+            }
         } else {
-            AccuracyConfig { q1: 6, q2: 10, samples: 1_000, width: 10_000 }
+            AccuracyConfig {
+                q1: 6,
+                q2: 10,
+                samples: 1_000,
+                width: 10_000,
+            }
         }
     }
 }
@@ -58,7 +68,12 @@ const METHODS: [(&str, bool, EstimatorKind); 4] = [
 ];
 
 /// Run the full protocol for one dataset at each k in `ks`.
-pub fn run_accuracy(ds: Dataset, ks: &[usize], args: &RunArgs, cfg: AccuracyConfig) -> Vec<MethodRow> {
+pub fn run_accuracy(
+    ds: Dataset,
+    ks: &[usize],
+    args: &RunArgs,
+    cfg: AccuracyConfig,
+) -> Vec<MethodRow> {
     let g = ds.generate(1.0, args.seed);
     let mut rows = Vec::new();
     for &k in ks {
@@ -77,10 +92,7 @@ pub fn run_accuracy(ds: Dataset, ks: &[usize], args: &RunArgs, cfg: AccuracyConf
             for (si, (t, exact)) in searches.iter().enumerate() {
                 let mut estimates = Vec::with_capacity(cfg.q2);
                 for run in 0..cfg.q2 {
-                    let seed = args.seed
-                        ^ ((si as u64) << 40)
-                        ^ ((run as u64) << 20)
-                        ^ (k as u64);
+                    let seed = args.seed ^ ((si as u64) << 40) ^ ((run as u64) << 20) ^ (k as u64);
                     let est = if is_pro {
                         let r = pro_reliability(
                             &g,
@@ -132,8 +144,14 @@ pub fn run_accuracy(ds: Dataset, ks: &[usize], args: &RunArgs, cfg: AccuracyConf
 
 /// Print rows in the paper's table layout.
 pub fn print_rows(title: &str, rows: &[MethodRow], cfg: AccuracyConfig) {
-    println!("{title} (q1 = {}, q2 = {}, s = {}, w = {})\n", cfg.q1, cfg.q2, cfg.samples, cfg.width);
-    println!("{:>4} {:<14} {:>14} {:>12} {:>12}", "k", "Method", "Variance", "Error rate", "exact runs");
+    println!(
+        "{title} (q1 = {}, q2 = {}, s = {}, w = {})\n",
+        cfg.q1, cfg.q2, cfg.samples, cfg.width
+    );
+    println!(
+        "{:>4} {:<14} {:>14} {:>12} {:>12}",
+        "k", "Method", "Variance", "Error rate", "exact runs"
+    );
     let mut last_k = usize::MAX;
     for r in rows {
         if r.k != last_k {

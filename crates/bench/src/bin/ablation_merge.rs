@@ -36,7 +36,11 @@ fn main() {
             let t = random_terminals(&g, k, args.seed ^ k as u64);
             let mut rels = Vec::new();
             for rule in [MergeRule::Pattern, MergeRule::ExactCounts] {
-                let cfg = FullBddConfig { merge_rule: rule, node_limit: 30_000_000, ..Default::default() };
+                let cfg = FullBddConfig {
+                    merge_rule: rule,
+                    node_limit: 30_000_000,
+                    ..Default::default()
+                };
                 let (out, dt) = time(|| FullBdd::build(&g, &t, cfg));
                 match out {
                     Ok(b) => {

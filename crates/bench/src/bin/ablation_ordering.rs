@@ -19,8 +19,14 @@ struct Row {
 
 fn main() {
     let args = parse_args();
-    println!("Ablation: edge ordering (k = 10, s = 1000, w = 10000, scale = {})\n", args.scale);
-    println!("{:<8} {:<8} {:>16} {:>12}", "dataset", "order", "max frontier", "solve time");
+    println!(
+        "Ablation: edge ordering (k = 10, s = 1000, w = 10000, scale = {})\n",
+        args.scale
+    );
+    println!(
+        "{:<8} {:<8} {:>16} {:>12}",
+        "dataset", "order", "max frontier", "solve time"
+    );
     let mut rows = Vec::new();
     for ds in Dataset::ALL {
         let scale = if ds.is_large() { args.scale } else { 1.0 };

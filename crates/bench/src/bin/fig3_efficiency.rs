@@ -43,9 +43,14 @@ fn main() {
             let mut noext_t = 0.0;
             let mut samp_t = 0.0;
             for search in 0..args.searches {
-                let t = random_terminals(&g, k, args.seed ^ (search as u64) << 8 | k as u64);
+                let t = random_terminals(&g, k, args.seed ^ ((search as u64) << 8) ^ k as u64);
                 let pro_cfg = ProConfig {
-                    s2bdd: S2BddConfig { samples: s, max_width: w, seed: args.seed, ..Default::default() },
+                    s2bdd: S2BddConfig {
+                        samples: s,
+                        max_width: w,
+                        seed: args.seed,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let (_, dt) = time(|| pro_reliability(&g, &t, pro_cfg).unwrap());
@@ -61,7 +66,11 @@ fn main() {
                     sample_reliability(
                         &g,
                         &t,
-                        SamplingConfig { samples: s, seed: args.seed, ..Default::default() },
+                        SamplingConfig {
+                            samples: s,
+                            seed: args.seed,
+                            ..Default::default()
+                        },
                     )
                     .unwrap()
                 });
@@ -77,7 +86,10 @@ fn main() {
                 FullBdd::build(
                     &g,
                     &t,
-                    FullBddConfig { node_limit: 4_000_000, ..Default::default() },
+                    FullBddConfig {
+                        node_limit: 4_000_000,
+                        ..Default::default()
+                    },
                 )
             });
             let bdd = match bdd_out {

@@ -41,9 +41,14 @@ fn main() {
             let mut time_ratio = 0.0;
             let mut sample_ratio = 0.0;
             for search in 0..args.searches {
-                let t = random_terminals(&g, k, args.seed ^ (search as u64) << 16 | s as u64);
+                let t = random_terminals(&g, k, args.seed ^ ((search as u64) << 16) ^ s as u64);
                 let cfg = ProConfig {
-                    s2bdd: S2BddConfig { samples: s, max_width: w, seed: args.seed, ..Default::default() },
+                    s2bdd: S2BddConfig {
+                        samples: s,
+                        max_width: w,
+                        seed: args.seed,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let (pro, pro_t) = time(|| pro_reliability(&g, &t, cfg).unwrap());
@@ -51,22 +56,40 @@ fn main() {
                     sample_reliability(
                         &g,
                         &t,
-                        SamplingConfig { samples: s, seed: args.seed, ..Default::default() },
+                        SamplingConfig {
+                            samples: s,
+                            seed: args.seed,
+                            ..Default::default()
+                        },
                     )
                     .unwrap()
                 });
                 time_ratio += pro_t / samp_t;
                 // s'/s aggregated over parts, weighted by their budget.
-                let (sp, stot) = pro
-                    .parts
-                    .iter()
-                    .fold((0usize, 0usize), |(a, b), p| (a + p.s_prime_final, b + p.samples_requested));
-                sample_ratio += if stot == 0 { 0.0 } else { sp as f64 / stot as f64 };
+                let (sp, stot) = pro.parts.iter().fold((0usize, 0usize), |(a, b), p| {
+                    (a + p.s_prime_final, b + p.samples_requested)
+                });
+                sample_ratio += if stot == 0 {
+                    0.0
+                } else {
+                    sp as f64 / stot as f64
+                };
             }
             let n = args.searches as f64;
             let (time_ratio, sample_ratio) = (time_ratio / n, sample_ratio / n);
-            println!("{:<8} {:>10} {:>18.3} {:>18.3}", ds.to_string(), s, time_ratio, sample_ratio);
-            rows.push(Row { dataset: ds.to_string(), samples: s, time_ratio, sample_ratio });
+            println!(
+                "{:<8} {:>10} {:>18.3} {:>18.3}",
+                ds.to_string(),
+                s,
+                time_ratio,
+                sample_ratio
+            );
+            rows.push(Row {
+                dataset: ds.to_string(),
+                samples: s,
+                time_ratio,
+                sample_ratio,
+            });
         }
         println!();
     }

@@ -26,8 +26,14 @@ fn main() {
     } else {
         &[300, 3_000, 30_000]
     };
-    println!("Figure 5: effect of max width (k = {k}, s = {s}, scale = {})\n", args.scale);
-    println!("{:<8} {:>10} {:>14} {:>12}", "dataset", "w", "peak memory", "time");
+    println!(
+        "Figure 5: effect of max width (k = {k}, s = {s}, scale = {})\n",
+        args.scale
+    );
+    println!(
+        "{:<8} {:>10} {:>14} {:>12}",
+        "dataset", "w", "peak memory", "time"
+    );
     let mut rows = Vec::new();
     for ds in Dataset::LARGE {
         let g = ds.generate(args.scale, args.seed);
@@ -35,18 +41,40 @@ fn main() {
             let mut mem = 0usize;
             let mut secs = 0.0f64;
             for search in 0..args.searches {
-                let t = random_terminals(&g, k, args.seed ^ (search as u64) << 24 | w as u64);
+                let t = random_terminals(&g, k, args.seed ^ ((search as u64) << 24) ^ w as u64);
                 let cfg = ProConfig {
-                    s2bdd: S2BddConfig { samples: s, max_width: w, seed: args.seed, ..Default::default() },
+                    s2bdd: S2BddConfig {
+                        samples: s,
+                        max_width: w,
+                        seed: args.seed,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 let (r, dt) = time(|| pro_reliability(&g, &t, cfg).unwrap());
                 secs += dt;
-                mem = mem.max(r.parts.iter().map(|p| p.peak_memory_bytes).max().unwrap_or(0));
+                mem = mem.max(
+                    r.parts
+                        .iter()
+                        .map(|p| p.peak_memory_bytes)
+                        .max()
+                        .unwrap_or(0),
+                );
             }
             let secs = secs / args.searches as f64;
-            println!("{:<8} {:>10} {:>14} {:>12}", ds.to_string(), w, fmt_bytes(mem), fmt_secs(secs));
-            rows.push(Row { dataset: ds.to_string(), width: w, peak_memory_bytes: mem, secs });
+            println!(
+                "{:<8} {:>10} {:>14} {:>12}",
+                ds.to_string(),
+                w,
+                fmt_bytes(mem),
+                fmt_secs(secs)
+            );
+            rows.push(Row {
+                dataset: ds.to_string(),
+                width: w,
+                peak_memory_bytes: mem,
+                secs,
+            });
         }
         println!();
     }

@@ -22,7 +22,10 @@ struct Row {
 
 fn main() {
     let args = parse_args();
-    println!("Table 2: datasets (scale = {}, seed = {})\n", args.scale, args.seed);
+    println!(
+        "Table 2: datasets (scale = {}, seed = {})\n",
+        args.scale, args.seed
+    );
     println!(
         "{:<8} {:<13} | {:>9} {:>9} {:>8} {:>9} | {:>9} {:>9} {:>8} {:>9}",
         "Name", "Type", "paper|V|", "paper|E|", "p.deg", "p.prob", "|V|", "|E|", "deg", "prob"

@@ -18,8 +18,14 @@ struct Row {
 fn main() {
     let args = parse_args();
     let k = 10usize;
-    println!("Table 5: extension technique (k = {k}, scale = {})\n", args.scale);
-    println!("{:<8} {:>14} {:>20} {:>8}", "dataset", "process time", "reduced graph size", "parts");
+    println!(
+        "Table 5: extension technique (k = {k}, scale = {})\n",
+        args.scale
+    );
+    println!(
+        "{:<8} {:>14} {:>20} {:>8}",
+        "dataset", "process time", "reduced graph size", "parts"
+    );
     let mut rows = Vec::new();
     for ds in Dataset::ALL {
         let scale = if ds.is_large() { args.scale } else { 1.0 };
@@ -37,8 +43,19 @@ fn main() {
         }
         let n = args.searches as f64;
         let (secs, ratio) = (secs / n, ratio / n);
-        println!("{:<8} {:>14} {:>20.3} {:>8}", ds.to_string(), fmt_secs(secs), ratio, parts);
-        rows.push(Row { dataset: ds.to_string(), process_secs: secs, reduced_ratio: ratio, parts });
+        println!(
+            "{:<8} {:>14} {:>20.3} {:>8}",
+            ds.to_string(),
+            fmt_secs(secs),
+            ratio,
+            parts
+        );
+        rows.push(Row {
+            dataset: ds.to_string(),
+            process_secs: secs,
+            reduced_ratio: ratio,
+            parts,
+        });
     }
     println!(
         "\nExpected shape (paper Table 5): road networks shrink hardest (Tokyo\n\

@@ -36,7 +36,13 @@ pub struct RunArgs {
 
 impl Default for RunArgs {
     fn default() -> Self {
-        RunArgs { scale: 0.05, searches: 3, seed: 7, full: false, json: None }
+        RunArgs {
+            scale: 0.05,
+            searches: 3,
+            seed: 7,
+            full: false,
+            json: None,
+        }
     }
 }
 

@@ -35,7 +35,14 @@ mod tests {
     fn matches_brute_force() {
         let g = UncertainGraph::new(
             5,
-            [(0, 1, 0.7), (0, 2, 0.7), (1, 2, 0.7), (1, 3, 0.7), (2, 4, 0.7), (3, 4, 0.7)],
+            [
+                (0, 1, 0.7),
+                (0, 2, 0.7),
+                (1, 2, 0.7),
+                (1, 3, 0.7),
+                (2, 4, 0.7),
+                (3, 4, 0.7),
+            ],
         )
         .unwrap();
         for t in [vec![0, 3], vec![0, 3, 4], vec![1, 2, 3, 4]] {

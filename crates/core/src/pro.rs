@@ -104,7 +104,10 @@ pub fn pro_reliability(
                     scope.spawn(move || S2Bdd::solve(&part.graph, &part.terminals, part_cfg_for(i)))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("part solver panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("part solver panicked"))
+                .collect()
         });
         results.into_iter().collect::<Result<Vec<_>, _>>()?
     } else {
@@ -135,8 +138,7 @@ pub fn pro_reliability(
         prod_mean_sq *= r.estimate * r.estimate;
         parts.push(r);
     }
-    let variance_estimate =
-        (pre.pb * pre.pb * (prod_second_moment - prod_mean_sq)).max(0.0);
+    let variance_estimate = (pre.pb * pre.pb * (prod_second_moment - prod_mean_sq)).max(0.0);
     Ok(ProResult {
         estimate,
         lower_bound: lower,
@@ -191,10 +193,17 @@ mod tests {
         let g = lollipop();
         for t in [vec![0, 4], vec![0, 7], vec![1, 4, 6]] {
             let expect = brute_force_reliability(&g, &t);
-            let cfg = ProConfig { s2bdd: S2BddConfig::exact(), ..Default::default() };
+            let cfg = ProConfig {
+                s2bdd: S2BddConfig::exact(),
+                ..Default::default()
+            };
             let r = pro_reliability(&g, &t, cfg).unwrap();
             assert!(r.exact);
-            assert!((r.estimate - expect).abs() < 1e-12, "{t:?}: {} vs {expect}", r.estimate);
+            assert!(
+                (r.estimate - expect).abs() < 1e-12,
+                "{t:?}: {} vs {expect}",
+                r.estimate
+            );
         }
     }
 
@@ -204,13 +213,21 @@ mod tests {
         let t = vec![0, 4];
         let expect = brute_force_reliability(&g, &t);
         let cfg = ProConfig {
-            s2bdd: S2BddConfig { max_width: 1, samples: 20_000, ..Default::default() },
+            s2bdd: S2BddConfig {
+                max_width: 1,
+                samples: 20_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = pro_reliability(&g, &t, cfg).unwrap();
         assert!(r.lower_bound <= expect + 1e-12);
         assert!(r.upper_bound >= expect - 1e-12);
-        assert!((r.estimate - expect).abs() < 0.05, "{} vs {expect}", r.estimate);
+        assert!(
+            (r.estimate - expect).abs() < 0.05,
+            "{} vs {expect}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -219,11 +236,21 @@ mod tests {
         // extension collapses everything, so Pro is exact regardless of w.
         let g = UncertainGraph::new(
             6,
-            [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (3, 4, 0.6), (4, 5, 0.5)],
+            [
+                (0, 1, 0.9),
+                (1, 2, 0.8),
+                (2, 3, 0.7),
+                (3, 4, 0.6),
+                (4, 5, 0.5),
+            ],
         )
         .unwrap();
         let cfg = ProConfig {
-            s2bdd: S2BddConfig { max_width: 1, samples: 10, ..Default::default() },
+            s2bdd: S2BddConfig {
+                max_width: 1,
+                samples: 10,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r = pro_reliability(&g, &[0, 5], cfg).unwrap();
@@ -242,7 +269,11 @@ mod tests {
         cfg.s2bdd.samples = 50_000;
         cfg.s2bdd.max_width = 4;
         let r = pro_reliability(&g, &t, cfg).unwrap();
-        assert!((r.estimate - expect).abs() < 0.05, "{} vs {expect}", r.estimate);
+        assert!(
+            (r.estimate - expect).abs() < 0.05,
+            "{} vs {expect}",
+            r.estimate
+        );
         assert_eq!(r.preprocess_stats.num_parts, 1);
     }
 
@@ -261,7 +292,11 @@ mod tests {
             ..Default::default()
         };
         let r = pro_reliability(&g, &t, cfg).unwrap();
-        assert!((r.estimate - expect).abs() < 0.05, "{} vs {expect}", r.estimate);
+        assert!(
+            (r.estimate - expect).abs() < 0.05,
+            "{} vs {expect}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -279,10 +314,18 @@ mod tests {
         let g = lollipop();
         let t = vec![0, 7];
         let seq_cfg = ProConfig {
-            s2bdd: S2BddConfig { max_width: 1, samples: 500, seed: 5, ..Default::default() },
+            s2bdd: S2BddConfig {
+                max_width: 1,
+                samples: 500,
+                seed: 5,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let par_cfg = ProConfig { parallel_parts: true, ..seq_cfg };
+        let par_cfg = ProConfig {
+            parallel_parts: true,
+            ..seq_cfg
+        };
         let a = pro_reliability(&g, &t, seq_cfg).unwrap();
         let b = pro_reliability(&g, &t, par_cfg).unwrap();
         assert_eq!(a.estimate, b.estimate);

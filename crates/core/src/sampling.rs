@@ -65,7 +65,9 @@ pub fn sample_reliability(
         });
     }
     let threads = match cfg.threads {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         n => n,
     }
     .max(1)
@@ -82,14 +84,18 @@ pub fn sample_reliability(
                     let t = &t;
                     handles.push(scope.spawn(move || {
                         let mut sampler = WorldSampler::new(g.num_vertices());
-                        let mut rng =
-                            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        let mut rng = StdRng::seed_from_u64(
+                            cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
                         (0..chunk_of(i))
                             .filter(|_| sampler.sample_connected(g, t, &mut rng))
                             .count()
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("sampler thread panicked")).sum()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sampler thread panicked"))
+                    .sum()
             });
             let s = cfg.samples.max(1) as f64;
             let estimate = hits as f64 / s;
@@ -107,8 +113,9 @@ pub fn sample_reliability(
                     let t = &t;
                     handles.push(scope.spawn(move || {
                         let mut sampler = WorldSampler::new(g.num_vertices());
-                        let mut rng =
-                            StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        let mut rng = StdRng::seed_from_u64(
+                            cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
                         (0..chunk_of(i))
                             .map(|_| sampler.sample_world_full(g, t, &mut rng))
                             .collect::<Vec<_>>()
@@ -169,7 +176,13 @@ mod tests {
     fn bridge_graph() -> (UncertainGraph, Vec<usize>) {
         let g = UncertainGraph::new(
             4,
-            [(0, 1, 0.8), (1, 2, 0.7), (2, 3, 0.9), (0, 3, 0.5), (1, 3, 0.6)],
+            [
+                (0, 1, 0.8),
+                (1, 2, 0.7),
+                (2, 3, 0.9),
+                (0, 3, 0.5),
+                (1, 3, 0.6),
+            ],
         )
         .unwrap();
         (g, vec![0, 2])
@@ -179,9 +192,17 @@ mod tests {
     fn mc_converges_to_truth() {
         let (g, t) = bridge_graph();
         let exact = brute_force_reliability(&g, &t);
-        let cfg = SamplingConfig { samples: 200_000, seed: 1, ..Default::default() };
+        let cfg = SamplingConfig {
+            samples: 200_000,
+            seed: 1,
+            ..Default::default()
+        };
         let r = sample_reliability(&g, &t, cfg).unwrap();
-        assert!((r.estimate - exact).abs() < 0.01, "{} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 0.01,
+            "{} vs {exact}",
+            r.estimate
+        );
         assert!(r.variance_estimate > 0.0);
     }
 
@@ -196,22 +217,25 @@ mod tests {
             ..Default::default()
         };
         let r = sample_reliability(&g, &t, cfg).unwrap();
-        assert!((r.estimate - exact).abs() < 0.03, "{} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 0.03,
+            "{} vs {exact}",
+            r.estimate
+        );
     }
 
     #[test]
     fn parallel_matches_sequential_determinism() {
         let (g, t) = bridge_graph();
-        let base = SamplingConfig { samples: 10_000, seed: 7, ..Default::default() };
+        let base = SamplingConfig {
+            samples: 10_000,
+            seed: 7,
+            ..Default::default()
+        };
         let a = sample_reliability(&g, &t, base).unwrap();
         let b = sample_reliability(&g, &t, base).unwrap();
         assert_eq!(a.hits, b.hits, "same seed, same thread count → same draw");
-        let par = sample_reliability(
-            &g,
-            &t,
-            SamplingConfig { threads: 4, ..base },
-        )
-        .unwrap();
+        let par = sample_reliability(&g, &t, SamplingConfig { threads: 4, ..base }).unwrap();
         // Different thread count changes the stream but not the quality.
         assert!((par.estimate - a.estimate).abs() < 0.05);
     }
@@ -239,7 +263,11 @@ mod tests {
     fn zero_probability_like_graphs() {
         // Disconnected terminals: estimate must be 0 whatever the seed.
         let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
-        let cfg = SamplingConfig { samples: 1000, seed: 5, ..Default::default() };
+        let cfg = SamplingConfig {
+            samples: 1000,
+            seed: 5,
+            ..Default::default()
+        };
         let r = sample_reliability(&g, &[0, 2], cfg).unwrap();
         assert_eq!(r.estimate, 0.0);
         assert_eq!(r.hits, 0);

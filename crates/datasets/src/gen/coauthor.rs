@@ -47,9 +47,8 @@ pub fn coauthor(n: usize, avg_degree: f64, seed: u64) -> WeightedEdges {
         *weight.entry((a.min(b), a.max(b))).or_insert(0.0) += 1.0;
     }
 
-    let mut edges: WeightedEdges =
-        weight.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-    edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1))); // determinism
+    let mut edges: WeightedEdges = weight.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+    edges.sort_unstable_by_key(|e| (e.0, e.1)); // determinism
     connect_components(n, &mut edges, 1.0, &mut rng);
     edges
 }

@@ -73,16 +73,13 @@ pub(crate) fn connect_components<R: Rng + ?Sized>(
         edges.push((a.min(b), a.max(b), w));
         dsu.union(a, b);
     }
-    debug_assert_eq!(dsu.components(), 1.min(n.max(1)));
+    debug_assert_eq!(dsu.components(), 1);
 }
 
 #[cfg(test)]
 pub(crate) fn assert_connected_simple(n: usize, edges: &WeightedEdges) {
-    let g = netrel_ugraph::UncertainGraph::new(
-        n,
-        edges.iter().map(|&(u, v, _)| (u, v, 0.5)),
-    )
-    .expect("generator must emit a simple graph");
+    let g = netrel_ugraph::UncertainGraph::new(n, edges.iter().map(|&(u, v, _)| (u, v, 0.5)))
+        .expect("generator must emit a simple graph");
     assert!(g.is_connected(), "generator must emit a connected graph");
 }
 

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(protein_interaction(100, 12.0, 2), protein_interaction(100, 12.0, 2));
+        assert_eq!(
+            protein_interaction(100, 12.0, 2),
+            protein_interaction(100, 12.0, 2)
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
         for v in 0..20 {
             let w = (v + 1) % 20;
             let key = (v.min(w), v.max(w));
-            assert!(e.iter().any(|&(a, b, _)| (a, b) == key), "missing ring edge {key:?}");
+            assert!(
+                e.iter().any(|&(a, b, _)| (a, b) == key),
+                "missing ring edge {key:?}"
+            );
         }
     }
 

@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn graph_errors_propagate() {
         let text = "0 0 0.5\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(ReadError::Graph(_))));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(ReadError::Graph(_))
+        ));
     }
 
     #[test]

@@ -104,8 +104,11 @@ pub fn karate(seed: u64) -> UncertainGraph {
 
 /// The karate club graph with every edge at probability `p`.
 pub fn karate_fixed(p: f64) -> UncertainGraph {
-    UncertainGraph::new(KARATE_VERTICES, KARATE_EDGES.iter().map(|&(u, v)| (u, v, p)))
-        .expect("embedded karate edges are valid")
+    UncertainGraph::new(
+        KARATE_VERTICES,
+        KARATE_EDGES.iter().map(|&(u, v)| (u, v, p)),
+    )
+    .expect("embedded karate edges are valid")
 }
 
 #[cfg(test)]
@@ -120,7 +123,11 @@ mod tests {
         assert_eq!(s.vertices, 34);
         assert_eq!(s.edges, 78);
         // Table 2: avg degree 4.59.
-        assert!((s.avg_degree - 4.59).abs() < 0.01, "avg_degree {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 4.59).abs() < 0.01,
+            "avg_degree {}",
+            s.avg_degree
+        );
         assert!(g.is_connected());
     }
 

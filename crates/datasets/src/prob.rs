@@ -75,15 +75,18 @@ impl ProbModel {
             }
             ProbModel::LogWeight => {
                 let wm = ws.iter().copied().fold(0.0f64, f64::max);
-                ws.iter().map(|&w| ((w + 1.0).ln() / (wm + 2.0).ln()).clamp(1e-9, 1.0)).collect()
+                ws.iter()
+                    .map(|&w| ((w + 1.0).ln() / (wm + 2.0).ln()).clamp(1e-9, 1.0))
+                    .collect()
             }
             ProbModel::LogWeightMax { alpha_max } => ws
                 .iter()
                 .map(|&w| ((w + 1.0).ln() / (alpha_max + 2.0).ln()).clamp(1e-9, 1.0))
                 .collect(),
-            ProbModel::Score { a, b } => {
-                ws.iter().map(|_| sample_beta(a, b, rng).clamp(1e-9, 1.0)).collect()
-            }
+            ProbModel::Score { a, b } => ws
+                .iter()
+                .map(|_| sample_beta(a, b, rng).clamp(1e-9, 1.0))
+                .collect(),
             ProbModel::Fixed(p) => {
                 assert!(p > 0.0 && p <= 1.0);
                 vec![p; ws.len()]

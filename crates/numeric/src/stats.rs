@@ -15,7 +15,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Fresh accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -141,8 +147,16 @@ pub fn accuracy(per_search: &[(f64, Vec<f64>)]) -> AccuracyReport {
         }
     }
     AccuracyReport {
-        variance: if pairs == 0 { 0.0 } else { var.total() / pairs as f64 },
-        error_rate: if err_pairs == 0 { 0.0 } else { err.total() / err_pairs as f64 },
+        variance: if pairs == 0 {
+            0.0
+        } else {
+            var.total() / pairs as f64
+        },
+        error_rate: if err_pairs == 0 {
+            0.0
+        } else {
+            err.total() / err_pairs as f64
+        },
         pairs,
     }
 }
@@ -157,7 +171,9 @@ mod tests {
 
     #[test]
     fn online_stats_basic() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!(close(s.mean(), 5.0));
         assert!(close(s.variance_population(), 4.0));

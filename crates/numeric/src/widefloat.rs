@@ -38,7 +38,11 @@ fn ldexp(m: f64, e: i64) -> f64 {
         return 0.0;
     }
     if e > 1100 {
-        return if m > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+        return if m > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     if e < -1150 {
         return if m.is_sign_negative() { -0.0 } else { 0.0 };
@@ -86,7 +90,10 @@ impl WideFloat {
             return Self::ZERO;
         }
         let (nm, ne) = frexp(m);
-        WideFloat { m: nm, e: e.saturating_add(ne as i64) }
+        WideFloat {
+            m: nm,
+            e: e.saturating_add(ne as i64),
+        }
     }
 
     /// Convert back to `f64`, saturating to `0` or `±inf` when out of range.
@@ -147,9 +154,30 @@ impl WideFloat {
         WideFloat::new(frac.exp(), ei as i64)
     }
 
-    /// Multiply.
+    /// Multiply by a finite `f64`.
     #[inline]
-    pub fn mul(self, rhs: WideFloat) -> Self {
+    pub fn mul_f64(self, x: f64) -> Self {
+        self * WideFloat::from_f64(x)
+    }
+
+    /// The ratio `self / (self + other)` as `f64`, defined as `0` when both
+    /// are zero. Both operands must be non-negative. Useful for proportional
+    /// allocation without leaving the wide domain.
+    pub fn fraction_of_sum(self, other: WideFloat) -> f64 {
+        debug_assert!(self.m >= 0.0 && other.m >= 0.0);
+        let total = self + other;
+        if total.is_zero() {
+            return 0.0;
+        }
+        (self / total).to_f64()
+    }
+}
+
+impl std::ops::Mul for WideFloat {
+    type Output = Self;
+
+    #[inline]
+    fn mul(self, rhs: WideFloat) -> Self {
         if self.is_zero() || rhs.is_zero() {
             return Self::ZERO;
         }
@@ -159,36 +187,51 @@ impl WideFloat {
         if m.abs() >= 0.5 {
             WideFloat { m, e }
         } else {
-            WideFloat { m: m * 2.0, e: e - 1 }
+            WideFloat {
+                m: m * 2.0,
+                e: e - 1,
+            }
         }
     }
+}
 
-    /// Multiply by a finite `f64`.
+impl std::ops::MulAssign for WideFloat {
     #[inline]
-    pub fn mul_f64(self, x: f64) -> Self {
-        self.mul(WideFloat::from_f64(x))
+    fn mul_assign(&mut self, rhs: WideFloat) {
+        *self = *self * rhs;
     }
+}
 
-    /// Divide. Panics in debug mode on division by zero.
+/// Division. Panics in debug mode on division by zero.
+impl std::ops::Div for WideFloat {
+    type Output = Self;
+
     #[inline]
-    pub fn div(self, rhs: WideFloat) -> Self {
+    fn div(self, rhs: WideFloat) -> Self {
         debug_assert!(!rhs.is_zero(), "WideFloat division by zero");
         if self.is_zero() {
             return Self::ZERO;
         }
         WideFloat::new(self.m / rhs.m, self.e - rhs.e)
     }
+}
 
-    /// Add.
+impl std::ops::Add for WideFloat {
+    type Output = Self;
+
     #[inline]
-    pub fn add(self, rhs: WideFloat) -> Self {
+    fn add(self, rhs: WideFloat) -> Self {
         if self.is_zero() {
             return rhs;
         }
         if rhs.is_zero() {
             return self;
         }
-        let (hi, lo) = if self.e >= rhs.e { (self, rhs) } else { (rhs, self) };
+        let (hi, lo) = if self.e >= rhs.e {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
         let d = hi.e - lo.e;
         if d > 64 {
             // lo is below hi's precision; adding it cannot change the result.
@@ -196,29 +239,33 @@ impl WideFloat {
         }
         WideFloat::new(hi.m + ldexp(lo.m, -d), hi.e)
     }
+}
 
-    /// Subtract.
+impl std::ops::AddAssign for WideFloat {
     #[inline]
-    pub fn sub(self, rhs: WideFloat) -> Self {
-        self.add(rhs.neg())
+    fn add_assign(&mut self, rhs: WideFloat) {
+        *self = *self + rhs;
     }
+}
 
-    /// Negate.
+impl std::ops::Sub for WideFloat {
+    type Output = Self;
+
     #[inline]
-    pub fn neg(self) -> Self {
-        WideFloat { m: -self.m, e: self.e }
+    fn sub(self, rhs: WideFloat) -> Self {
+        self + (-rhs)
     }
+}
 
-    /// The ratio `self / (self + other)` as `f64`, defined as `0` when both
-    /// are zero. Both operands must be non-negative. Useful for proportional
-    /// allocation without leaving the wide domain.
-    pub fn fraction_of_sum(self, other: WideFloat) -> f64 {
-        debug_assert!(self.m >= 0.0 && other.m >= 0.0);
-        let total = self.add(other);
-        if total.is_zero() {
-            return 0.0;
+impl std::ops::Neg for WideFloat {
+    type Output = Self;
+
+    #[inline]
+    fn neg(self) -> Self {
+        WideFloat {
+            m: -self.m,
+            e: self.e,
         }
-        self.div(total).to_f64()
     }
 }
 
@@ -284,8 +331,8 @@ impl fmt::Display for WideFloat {
             return write!(f, "0");
         }
         let sign = if self.m < 0.0 { "-" } else { "" };
-        let log10 = (self.m.abs().ln() + self.e as f64 * std::f64::consts::LN_2)
-            / std::f64::consts::LN_10;
+        let log10 =
+            (self.m.abs().ln() + self.e as f64 * std::f64::consts::LN_2) / std::f64::consts::LN_10;
         let d = log10.floor();
         let mant = 10f64.powf(log10 - d);
         write!(f, "{sign}{mant:.6}e{}", d as i64)
@@ -295,14 +342,14 @@ impl fmt::Display for WideFloat {
 /// Sum an iterator of `WideFloat`s.
 impl std::iter::Sum for WideFloat {
     fn sum<I: Iterator<Item = WideFloat>>(iter: I) -> Self {
-        iter.fold(WideFloat::ZERO, WideFloat::add)
+        iter.fold(WideFloat::ZERO, |acc, x| acc + x)
     }
 }
 
 /// Product of an iterator of `WideFloat`s.
 impl std::iter::Product for WideFloat {
     fn product<I: Iterator<Item = WideFloat>>(iter: I) -> Self {
-        iter.fold(WideFloat::ONE, WideFloat::mul)
+        iter.fold(WideFloat::ONE, |acc, x| acc * x)
     }
 }
 
@@ -323,7 +370,11 @@ mod tests {
             }
             // Recombine via the library's ldexp (two-step scaling) so the
             // subnormal case rounds once, not twice.
-            assert_eq!(WideFloat::new(m, e as i64).to_f64(), x, "roundtrip failed for {x}");
+            assert_eq!(
+                WideFloat::new(m, e as i64).to_f64(),
+                x,
+                "roundtrip failed for {x}"
+            );
         }
     }
 
@@ -346,7 +397,7 @@ mod tests {
     fn mul_matches_f64() {
         let a = WideFloat::from_f64(0.3);
         let b = WideFloat::from_f64(0.7);
-        assert!(close(a.mul(b).to_f64(), 0.21, 1e-15));
+        assert!(close((a * b).to_f64(), 0.21, 1e-15));
     }
 
     #[test]
@@ -355,15 +406,20 @@ mod tests {
         let p = WideFloat::from_f64(0.2);
         let mut acc = WideFloat::ONE;
         for _ in 0..250_000 {
-            acc = acc.mul(p);
+            acc *= p;
         }
         assert!(!acc.is_zero());
         let expect_ln = 250_000.0 * 0.2f64.ln();
-        assert!(close(acc.ln(), expect_ln, 1e-10), "{} vs {}", acc.ln(), expect_ln);
+        assert!(
+            close(acc.ln(), expect_ln, 1e-10),
+            "{} vs {}",
+            acc.ln(),
+            expect_ln
+        );
         // And dividing back up recovers ~1.
         let mut back = acc;
         for _ in 0..250_000 {
-            back = back.div(p);
+            back = back / p;
         }
         assert!(close(back.to_f64(), 1.0, 1e-9));
     }
@@ -372,18 +428,18 @@ mod tests {
     fn add_alignment() {
         let a = WideFloat::from_f64(1.0);
         let b = WideFloat::from_f64(3.0);
-        assert!(close(a.add(b).to_f64(), 4.0, 1e-15));
+        assert!(close((a + b).to_f64(), 4.0, 1e-15));
         // Adding something 2^-100 smaller leaves the value unchanged.
         let tiny = WideFloat::new(0.5, -100);
-        assert_eq!(a.add(tiny).to_f64(), 1.0);
+        assert_eq!((a + tiny).to_f64(), 1.0);
     }
 
     #[test]
     fn add_cancellation() {
         let a = WideFloat::from_f64(1.0);
-        assert!(a.sub(a).is_zero());
+        assert!((a - a).is_zero());
         let b = WideFloat::from_f64(0.75);
-        assert!(close(a.sub(b).to_f64(), 0.25, 1e-15));
+        assert!(close((a - b).to_f64(), 0.25, 1e-15));
     }
 
     #[test]
@@ -393,13 +449,13 @@ mod tests {
         assert!(a < b);
         assert!(b > a);
         assert!(WideFloat::ZERO < a);
-        assert!(a.neg() < WideFloat::ZERO);
-        assert!(a.neg() > b.neg());
+        assert!((-a) < WideFloat::ZERO);
+        assert!((-a) > (-b));
         // Exponent-dominant comparison.
         let big = WideFloat::new(0.5, 100);
         let small = WideFloat::new(0.9, 50);
         assert!(big > small);
-        assert!(big.neg() < small.neg());
+        assert!((-big) < (-small));
     }
 
     #[test]
@@ -444,14 +500,14 @@ mod tests {
         /// to relative 1e-14.
         #[test]
         fn mul_matches_f64_in_range(a in -1e60f64..1e60, b in -1e60f64..1e60) {
-            let w = WideFloat::from_f64(a).mul(WideFloat::from_f64(b)).to_f64();
+            let w = (WideFloat::from_f64(a) * WideFloat::from_f64(b)).to_f64();
             let f = a * b;
             proptest::prop_assert!(close(w, f, 1e-14), "{} vs {}", w, f);
         }
 
         #[test]
         fn add_matches_f64_in_range(a in -1e60f64..1e60, b in -1e60f64..1e60) {
-            let w = WideFloat::from_f64(a).add(WideFloat::from_f64(b)).to_f64();
+            let w = (WideFloat::from_f64(a) + WideFloat::from_f64(b)).to_f64();
             let f = a + b;
             proptest::prop_assert!(close(w, f, 1e-14), "{} vs {}", w, f);
         }

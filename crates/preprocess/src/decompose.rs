@@ -82,15 +82,21 @@ pub fn decompose(g: &UncertainGraph, terminals: &[VertexId]) -> Decomposed {
     let mut parts = Vec::new();
     for &root in &roots {
         let keep: Vec<bool> = root_of.iter().map(|&r| r == root).collect();
-        let required: Vec<VertexId> =
-            (0..g.num_vertices()).filter(|&v| keep[v] && is_required[v]).collect();
+        let required: Vec<VertexId> = (0..g.num_vertices())
+            .filter(|&v| keep[v] && is_required[v])
+            .collect();
         if required.len() <= 1 {
             continue; // factor 1
         }
         let (graph, map) = g.induced_subgraph(&keep);
-        let comp_terminals: Vec<VertexId> =
-            required.iter().map(|&v| map[v].expect("kept vertex mapped")).collect();
-        parts.push(Component { graph, terminals: comp_terminals });
+        let comp_terminals: Vec<VertexId> = required
+            .iter()
+            .map(|&v| map[v].expect("kept vertex mapped"))
+            .collect();
+        parts.push(Component {
+            graph,
+            terminals: comp_terminals,
+        });
     }
     Decomposed { pb, parts }
 }
@@ -147,8 +153,8 @@ mod tests {
 
     #[test]
     fn no_bridges_single_part() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)]).unwrap();
         let d = decompose(&g, &[0, 2]);
         assert_eq!(d.pb, 1.0);
         assert_eq!(d.parts.len(), 1);

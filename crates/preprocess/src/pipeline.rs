@@ -21,7 +21,12 @@ pub struct PreprocessConfig {
 
 impl Default for PreprocessConfig {
     fn default() -> Self {
-        PreprocessConfig { prune: true, decompose: true, transform: true, prune_dangling: true }
+        PreprocessConfig {
+            prune: true,
+            decompose: true,
+            transform: true,
+            prune_dangling: true,
+        }
     }
 }
 
@@ -92,7 +97,12 @@ pub fn preprocess(
 
     if t.len() <= 1 {
         stats.reduced_ratio = 0.0;
-        return Ok(Preprocessed { pb: 1.0, parts: Vec::new(), trivially_zero: false, stats });
+        return Ok(Preprocessed {
+            pb: 1.0,
+            parts: Vec::new(),
+            trivially_zero: false,
+            stats,
+        });
     }
 
     // Phase 1: prune.
@@ -115,13 +125,24 @@ pub fn preprocess(
     // Without pruning, terminals may still be disconnected; decomposition
     // assumes relevance, so check connectivity cheaply here.
     if !netrel_ugraph::traversal::terminals_connected_certain(&work_graph, &work_terminals) {
-        return Ok(Preprocessed { pb: 0.0, parts: Vec::new(), trivially_zero: true, stats });
+        return Ok(Preprocessed {
+            pb: 0.0,
+            parts: Vec::new(),
+            trivially_zero: true,
+            stats,
+        });
     }
 
     // Phase 2: decompose.
     let (pb, raw_parts) = if cfg.decompose {
         let d = decompose(&work_graph, &work_terminals);
-        (d.pb, d.parts.into_iter().map(|c| (c.graph, c.terminals)).collect::<Vec<_>>())
+        (
+            d.pb,
+            d.parts
+                .into_iter()
+                .map(|c| (c.graph, c.terminals))
+                .collect::<Vec<_>>(),
+        )
     } else {
         (1.0, vec![(work_graph, work_terminals)])
     };
@@ -133,7 +154,10 @@ pub fn preprocess(
             let tr = transform(&graph, &terminals, cfg.prune_dangling);
             stats.transform_rules += tr.rules_applied;
             if tr.terminals.len() >= 2 {
-                parts.push(Part { graph: tr.graph, terminals: tr.terminals });
+                parts.push(Part {
+                    graph: tr.graph,
+                    terminals: tr.terminals,
+                });
             }
         } else if terminals.len() >= 2 {
             parts.push(Part { graph, terminals });
@@ -147,7 +171,12 @@ pub fn preprocess(
     } else {
         stats.max_part_edges as f64 / stats.original_edges as f64
     };
-    Ok(Preprocessed { pb, parts, trivially_zero: false, stats })
+    Ok(Preprocessed {
+        pb,
+        parts,
+        trivially_zero: false,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +223,10 @@ mod tests {
             let expect = brute_force_reliability(&g, &t);
             let pre = preprocess(&g, &t, PreprocessConfig::default()).unwrap();
             let got = pipeline_reliability(&pre);
-            assert!((got - expect).abs() < 1e-12, "terminals {t:?}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "terminals {t:?}: {got} vs {expect}"
+            );
         }
     }
 
@@ -204,9 +236,21 @@ mod tests {
         let t = vec![0, 6];
         let expect = brute_force_reliability(&g, &t);
         for cfg in [
-            PreprocessConfig { decompose: false, transform: false, ..Default::default() },
-            PreprocessConfig { prune: false, transform: false, ..Default::default() },
-            PreprocessConfig { prune: false, decompose: false, ..Default::default() },
+            PreprocessConfig {
+                decompose: false,
+                transform: false,
+                ..Default::default()
+            },
+            PreprocessConfig {
+                prune: false,
+                transform: false,
+                ..Default::default()
+            },
+            PreprocessConfig {
+                prune: false,
+                decompose: false,
+                ..Default::default()
+            },
             PreprocessConfig::disabled(),
         ] {
             let pre = preprocess(&g, &t, cfg).unwrap();

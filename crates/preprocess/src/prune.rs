@@ -61,13 +61,20 @@ pub fn prune(g: &UncertainGraph, terminals: &[VertexId]) -> Pruned {
     // Keep a vertex iff its component's super vertex is kept; keep an edge
     // iff both endpoint components are kept (within a kept component all
     // edges stay; a bridge between two kept components lies on the subtree).
-    let keep: Vec<bool> = (0..g.num_vertices()).map(|v| st.keep_node[ecc.comp[v]]).collect();
+    let keep: Vec<bool> = (0..g.num_vertices())
+        .map(|v| st.keep_node[ecc.comp[v]])
+        .collect();
     let (graph, vertex_map) = g.induced_subgraph(&keep);
     let terminals: Vec<VertexId> = terminals
         .iter()
         .map(|&t| vertex_map[t].expect("terminal components are always kept"))
         .collect();
-    Pruned { graph, vertex_map, terminals, trivially_zero }
+    Pruned {
+        graph,
+        vertex_map,
+        terminals,
+        trivially_zero,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +120,10 @@ mod tests {
             let before = brute_force_reliability(&g, &t);
             let p = prune(&g, &t);
             let after = brute_force_reliability(&p.graph, &p.terminals);
-            assert!((before - after).abs() < 1e-12, "terminals {t:?}: {before} vs {after}");
+            assert!(
+                (before - after).abs() < 1e-12,
+                "terminals {t:?}: {before} vs {after}"
+            );
         }
     }
 

@@ -27,11 +27,7 @@ pub struct Transformed {
 }
 
 /// Run series/parallel/loop (and optionally dangling) reductions to fixpoint.
-pub fn transform(
-    g: &UncertainGraph,
-    terminals: &[VertexId],
-    prune_dangling: bool,
-) -> Transformed {
+pub fn transform(g: &UncertainGraph, terminals: &[VertexId], prune_dangling: bool) -> Transformed {
     let mut is_terminal = vec![false; g.num_vertices()];
     for &t in terminals {
         is_terminal[t] = true;
@@ -42,6 +38,9 @@ pub fn transform(
     loop {
         let mut changed = false;
 
+        // Indexed iteration is deliberate: the body mutates `mg`'s edge set
+        // while walking its (fixed-count) vertices.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..mg.num_vertices() {
             // Loop rule: delete self-loops at v.
             let incident = mg.incident(v);
@@ -120,11 +119,12 @@ pub fn transform(
     // can only disappear if they became isolated, which for a valid
     // decomposition component cannot happen to a terminal that still needs
     // connecting. Map the survivors.
-    let terminals: Vec<VertexId> = terminals
-        .iter()
-        .filter_map(|&t| map[t])
-        .collect();
-    Transformed { graph, terminals, rules_applied }
+    let terminals: Vec<VertexId> = terminals.iter().filter_map(|&t| map[t]).collect();
+    Transformed {
+        graph,
+        terminals,
+        rules_applied,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +162,11 @@ mod tests {
     fn series_skips_terminals() {
         let g = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.8)]).unwrap();
         let tr = transform(&g, &[0, 1, 2], true);
-        assert_eq!(tr.graph.num_edges(), 2, "terminal vertex 1 must not contract");
+        assert_eq!(
+            tr.graph.num_edges(),
+            2,
+            "terminal vertex 1 must not contract"
+        );
     }
 
     #[test]
@@ -183,9 +187,17 @@ mod tests {
     fn dangling_removed_when_enabled() {
         let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (1, 3, 0.9)]).unwrap();
         let with = transform(&g, &[0, 2], true);
-        assert_eq!(with.graph.num_edges(), 1, "pendant 3 and then series 1 collapse");
+        assert_eq!(
+            with.graph.num_edges(),
+            1,
+            "pendant 3 and then series 1 collapse"
+        );
         let without = transform(&g, &[0, 2], false);
-        assert_eq!(without.graph.num_edges(), 3, "paper rules alone keep the pendant");
+        assert_eq!(
+            without.graph.num_edges(),
+            3,
+            "paper rules alone keep the pendant"
+        );
         check_preserves(&g, &[0, 2]);
     }
 

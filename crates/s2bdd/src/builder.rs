@@ -50,8 +50,11 @@ impl S2Bdd {
         let mut scratch = Scratch::default();
         let mut key = Vec::new();
 
-        let mut nodes: Vec<Node> =
-            vec![Node { state: State::root(), pn: WideFloat::ONE, h: WideFloat::ONE }];
+        let mut nodes: Vec<Node> = vec![Node {
+            state: State::root(),
+            pn: WideFloat::ONE,
+            h: WideFloat::ONE,
+        }];
         let mut pc = WideFloat::ZERO;
         let mut pd = WideFloat::ZERO;
         let mut strata: Vec<Stratum> = Vec::new();
@@ -62,8 +65,7 @@ impl S2Bdd {
         let mut peak_memory = 0usize;
         let mut layers_completed = 0usize;
         let mut early_exit = false;
-        let mut trajectory: Option<Vec<(f64, f64)>> =
-            cfg.record_trajectory.then(Vec::new);
+        let mut trajectory: Option<Vec<(f64, f64)>> = cfg.record_trajectory.then(Vec::new);
 
         for l in 0..layers_total {
             let e = machine.current_edge();
@@ -87,17 +89,21 @@ impl S2Bdd {
                     }
                     let pn = node.pn.mul_f64(weight);
                     match machine.apply(&node.state, take, &mut scratch) {
-                        Transition::One => pc = pc.add(pn),
-                        Transition::Zero => pd = pd.add(pn),
+                        Transition::One => pc += pn,
+                        Transition::Zero => pd += pn,
                         Transition::Next(ns) => {
                             ns.signature(cfg.merge_rule, &mut key);
                             if let Some(&i) = index.get(&key) {
-                                next[i as usize].pn = next[i as usize].pn.add(pn);
+                                next[i as usize].pn += pn;
                             } else if next.len() < cfg.max_width {
                                 index.insert(key.clone(), next.len() as u32);
-                                next.push(Node { state: ns, pn, h: WideFloat::ZERO });
+                                next.push(Node {
+                                    state: ns,
+                                    pn,
+                                    h: WideFloat::ZERO,
+                                });
                             } else {
-                                deleted_mass = deleted_mass.add(pn);
+                                deleted_mass += pn;
                                 deleted.push((ns, pn));
                                 deleted_nodes_total += 1;
                             }
@@ -261,7 +267,7 @@ fn sample_pool(
     let mut cum = Vec::with_capacity(pool.len());
     let mut acc = 0.0f64;
     for (_, pn) in pool {
-        acc += pn.div(pool_mass).to_f64();
+        acc += (*pn / pool_mass).to_f64();
         cum.push(acc);
     }
     let frontier = machine.next_frontier();
@@ -281,7 +287,7 @@ fn sample_pool(
                 // mix the node index into the hash and add the node's pick
                 // log-probability.
                 let mixed = hash ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
-                let ln_node = pn.div(pool_mass).to_f64().max(f64::MIN_POSITIVE).ln();
+                let ln_node = (*pn / pool_mass).to_f64().max(f64::MIN_POSITIVE).ln();
                 st.record_ht(mixed, ln_node + ln_suffix, conn);
             }
         }
@@ -303,13 +309,12 @@ fn heuristic(machine: &FrontierMachine, state: &State, pn: WideFloat, k: usize) 
         d[state.comp[slot] as usize] += machine.future_degree_after_current(v) as u64;
     }
     let mut best = 0.0f64;
-    for c in 0..ncomps {
-        let t = state.tcnt[c];
+    for (&t, &dc) in state.tcnt.iter().zip(&d) {
         if t == 0 {
             continue;
         }
         let t_term = t as f64 / k as f64;
-        let d_term = if d[c] > 0 { 1.0 / d[c] as f64 } else { 1.0 };
+        let d_term = if dc > 0 { 1.0 / dc as f64 } else { 1.0 };
         best = best.max(t_term).max(d_term);
     }
     pn.mul_f64(best)
@@ -370,13 +375,29 @@ mod tests {
         let (g, t) = fixture();
         let exact = brute_force_reliability(&g, &t);
         for w in [1usize, 2, 3] {
-            let cfg = S2BddConfig { max_width: w, samples: 4000, ..Default::default() };
+            let cfg = S2BddConfig {
+                max_width: w,
+                samples: 4000,
+                ..Default::default()
+            };
             let r = S2Bdd::solve(&g, &t, cfg).unwrap();
-            assert!(r.lower_bound <= exact + 1e-12, "w={w}: lb {} > {exact}", r.lower_bound);
-            assert!(r.upper_bound >= exact - 1e-12, "w={w}: ub {} < {exact}", r.upper_bound);
+            assert!(
+                r.lower_bound <= exact + 1e-12,
+                "w={w}: lb {} > {exact}",
+                r.lower_bound
+            );
+            assert!(
+                r.upper_bound >= exact - 1e-12,
+                "w={w}: ub {} < {exact}",
+                r.upper_bound
+            );
             assert!(r.estimate >= r.lower_bound - 1e-12 && r.estimate <= r.upper_bound + 1e-12);
             // With sampling the estimate should be in the right neighborhood.
-            assert!((r.estimate - exact).abs() < 0.2, "w={w}: {} vs {exact}", r.estimate);
+            assert!(
+                (r.estimate - exact).abs() < 0.2,
+                "w={w}: {} vs {exact}",
+                r.estimate
+            );
         }
     }
 
@@ -384,10 +405,19 @@ mod tests {
     fn narrow_width_estimates_converge_with_samples() {
         let (g, t) = fixture();
         let exact = brute_force_reliability(&g, &t);
-        let cfg = S2BddConfig { max_width: 2, samples: 200_000, seed: 9, ..Default::default() };
+        let cfg = S2BddConfig {
+            max_width: 2,
+            samples: 200_000,
+            seed: 9,
+            ..Default::default()
+        };
         let r = S2Bdd::solve(&g, &t, cfg).unwrap();
         assert!(!r.exact);
-        assert!((r.estimate - exact).abs() < 0.02, "{} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 0.02,
+            "{} vs {exact}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -402,16 +432,29 @@ mod tests {
             ..Default::default()
         };
         let r = S2Bdd::solve(&g, &t, cfg).unwrap();
-        assert!((r.estimate - exact).abs() < 0.05, "{} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 0.05,
+            "{} vs {exact}",
+            r.estimate
+        );
     }
 
     #[test]
     fn sample_reduction_engages() {
         let (g, t) = fixture();
-        let cfg = S2BddConfig { max_width: 2, samples: 10_000, ..Default::default() };
+        let cfg = S2BddConfig {
+            max_width: 2,
+            samples: 10_000,
+            ..Default::default()
+        };
         let r = S2Bdd::solve(&g, &t, cfg).unwrap();
         // Bounds tighten during construction, so the final budget is reduced.
-        assert!(r.s_prime_final < r.samples_requested, "{} vs {}", r.s_prime_final, r.samples_requested);
+        assert!(
+            r.s_prime_final < r.samples_requested,
+            "{} vs {}",
+            r.s_prime_final,
+            r.samples_requested
+        );
     }
 
     #[test]
@@ -419,10 +462,15 @@ mod tests {
         // Cycle 0-1-2-3 with terminals {0, 2}: at layer 0 both branches
         // survive; with w = 1 one node is deleted and sampled, consuming the
         // whole budget (s = 1), so the next layer boundary early-exits.
-        let g = UncertainGraph::new(4, [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6), (3, 0, 0.6)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.6), (1, 2, 0.6), (2, 3, 0.6), (3, 0, 0.6)]).unwrap();
         let exact = brute_force_reliability(&g, &[0, 2]);
-        let cfg = S2BddConfig { max_width: 1, samples: 1, seed: 2, ..Default::default() };
+        let cfg = S2BddConfig {
+            max_width: 1,
+            samples: 1,
+            seed: 2,
+            ..Default::default()
+        };
         let r = S2Bdd::solve(&g, &[0, 2], cfg).unwrap();
         assert!(r.early_exit, "budget of 1 must exhaust immediately: {r:?}");
         assert!(!r.exact);
@@ -433,7 +481,11 @@ mod tests {
     #[test]
     fn zero_samples_with_finite_width_degrades_to_lower_bound() {
         let (g, t) = fixture();
-        let cfg = S2BddConfig { max_width: 1, samples: 0, ..Default::default() };
+        let cfg = S2BddConfig {
+            max_width: 1,
+            samples: 0,
+            ..Default::default()
+        };
         let r = S2Bdd::solve(&g, &t, cfg).unwrap();
         assert!(!r.exact);
         assert_eq!(r.samples_used, 0);
@@ -454,7 +506,10 @@ mod tests {
     #[test]
     fn trajectory_recorded_when_asked() {
         let (g, t) = fixture();
-        let cfg = S2BddConfig { record_trajectory: true, ..S2BddConfig::exact() };
+        let cfg = S2BddConfig {
+            record_trajectory: true,
+            ..S2BddConfig::exact()
+        };
         let r = S2Bdd::solve(&g, &t, cfg).unwrap();
         let tr = r.trajectory.unwrap();
         assert_eq!(tr.len(), r.layers_completed);

@@ -58,12 +58,19 @@ impl Default for S2BddConfig {
 impl S2BddConfig {
     /// Exact configuration: unbounded width, no sampling.
     pub fn exact() -> Self {
-        S2BddConfig { max_width: usize::MAX, samples: 0, ..Default::default() }
+        S2BddConfig {
+            max_width: usize::MAX,
+            samples: 0,
+            ..Default::default()
+        }
     }
 
     /// The paper's default experimental setting (`w` = 10 000, `s` = 10 000).
     pub fn paper_default(seed: u64) -> Self {
-        S2BddConfig { seed, ..Default::default() }
+        S2BddConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 

@@ -79,8 +79,14 @@ mod tests {
 
     #[test]
     fn out_of_range_inputs_clamped() {
-        assert_eq!(reduced_samples(100, -0.5, 2.0), reduced_samples(100, 0.0, 1.0));
-        assert_eq!(reduced_samples(100, 0.9, 0.9), reduced_samples(100, 0.9, 0.1));
+        assert_eq!(
+            reduced_samples(100, -0.5, 2.0),
+            reduced_samples(100, 0.0, 1.0)
+        );
+        assert_eq!(
+            reduced_samples(100, 0.9, 0.9),
+            reduced_samples(100, 0.9, 0.1)
+        );
     }
 
     proptest! {

@@ -35,7 +35,15 @@ impl StratumSampler {
     pub fn new(n: usize, terminal: &[bool], k: usize) -> Self {
         assert_eq!(terminal.len(), n);
         StratumSampler {
-            slots: vec![Slot { parent: 0, size: 0, tcount: 0, epoch: 0 }; n],
+            slots: vec![
+                Slot {
+                    parent: 0,
+                    size: 0,
+                    tcount: 0,
+                    epoch: 0
+                };
+                n
+            ],
             epoch: 0,
             is_terminal: terminal.to_vec(),
             k: k as u32,
@@ -93,7 +101,12 @@ impl StratumSampler {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             for (i, s) in self.slots.iter_mut().enumerate() {
-                *s = Slot { parent: i as u32, size: 1, tcount: self.is_terminal[i] as u32, epoch: 0 };
+                *s = Slot {
+                    parent: i as u32,
+                    size: 1,
+                    tcount: self.is_terminal[i] as u32,
+                    epoch: 0,
+                };
             }
         }
         // Union each component's members, then overwrite the root count with
@@ -110,11 +123,11 @@ impl StratumSampler {
             }
         }
         let mut connected = false;
-        for c in 0..ncomps {
-            if first_member[c] != usize::MAX {
-                let r = self.find(first_member[c]);
-                self.slots[r].tcount = state.tcnt[c];
-                connected |= state.tcnt[c] >= self.k;
+        for (&fm, &tc) in first_member.iter().zip(&state.tcnt) {
+            if fm != usize::MAX {
+                let r = self.find(fm);
+                self.slots[r].tcount = tc;
+                connected |= tc >= self.k;
             }
         }
         connected
@@ -182,7 +195,10 @@ mod tests {
     #[test]
     fn already_connected_state_always_hits() {
         // One component holding both terminals.
-        let state = State { comp: vec![0, 0], tcnt: vec![2] };
+        let state = State {
+            comp: vec![0, 0],
+            tcnt: vec![2],
+        };
         let term = vec![true, true, false];
         let mut s = StratumSampler::new(3, &term, 2);
         let mut rng = StdRng::seed_from_u64(1);
@@ -195,7 +211,10 @@ mod tests {
     fn conditional_series_probability() {
         // Frontier vertex 1 carries terminal count 1 (terminal 0 merged in and
         // left); terminal 2 still unseen; one remaining edge (1,2) at 0.5.
-        let state = State { comp: vec![0], tcnt: vec![1] };
+        let state = State {
+            comp: vec![0],
+            tcnt: vec![1],
+        };
         let term = vec![true, false, true];
         let mut s = StratumSampler::new(3, &term, 2);
         let mut rng = StdRng::seed_from_u64(2);
@@ -212,7 +231,10 @@ mod tests {
     fn two_components_need_bridge() {
         // Components {1} and {2}, each holding one terminal; edges (1,3),(3,2)
         // must both exist: probability 0.25.
-        let state = State { comp: vec![0, 1], tcnt: vec![1, 1] };
+        let state = State {
+            comp: vec![0, 1],
+            tcnt: vec![1, 1],
+        };
         let term = vec![false, true, true, false];
         let mut s = StratumSampler::new(4, &term, 2);
         let mut rng = StdRng::seed_from_u64(3);
@@ -229,7 +251,10 @@ mod tests {
     fn component_count_overrides_member_flags() {
         // Component {1} carries count 2 even though vertex 1 is not a
         // terminal itself (both terminals merged in and left the frontier).
-        let state = State { comp: vec![0], tcnt: vec![2] };
+        let state = State {
+            comp: vec![0],
+            tcnt: vec![2],
+        };
         let term = vec![true, false, true, false];
         let mut s = StratumSampler::new(4, &term, 2);
         let mut rng = StdRng::seed_from_u64(4);
@@ -238,7 +263,10 @@ mod tests {
 
     #[test]
     fn full_sampler_reports_cond_prob() {
-        let state = State { comp: vec![0], tcnt: vec![1] };
+        let state = State {
+            comp: vec![0],
+            tcnt: vec![1],
+        };
         let term = vec![true, false, true];
         let mut s = StratumSampler::new(3, &term, 2);
         let mut rng = StdRng::seed_from_u64(5);
@@ -260,7 +288,10 @@ mod tests {
     fn unseen_terminals_counted_lazily() {
         // Empty frontier state (root-like): terminals 0 and 1 both unseen;
         // single edge (0,1) with p=0.7 connects them.
-        let state = State { comp: vec![], tcnt: vec![] };
+        let state = State {
+            comp: vec![],
+            tcnt: vec![],
+        };
         let term = vec![true, true];
         let mut s = StratumSampler::new(2, &term, 2);
         let mut rng = StdRng::seed_from_u64(6);

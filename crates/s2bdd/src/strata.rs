@@ -40,7 +40,11 @@ pub struct Stratum {
 impl Stratum {
     /// New stratum with known mass.
     pub fn new(layer: usize, mass: f64) -> Self {
-        Stratum { layer, mass, ..Default::default() }
+        Stratum {
+            layer,
+            mass,
+            ..Default::default()
+        }
     }
 
     /// Record a Monte Carlo draw.
@@ -53,7 +57,11 @@ impl Stratum {
     pub fn record_ht(&mut self, hash: u64, ln_p: f64, connected: bool) {
         self.samples += 1;
         self.hits += connected as usize;
-        self.ht_records.push(HtRecord { hash, ln_p, connected });
+        self.ht_records.push(HtRecord {
+            hash,
+            ln_p,
+            connected,
+        });
     }
 
     /// Estimated conditional reliability `r̂ ∈ [0, 1]` within the stratum.

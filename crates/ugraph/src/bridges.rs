@@ -77,7 +77,11 @@ pub fn cut_structure(g: &UncertainGraph) -> CutStructure {
     }
 
     let bridge_ids = (0..m).filter(|&e| is_bridge[e]).collect();
-    CutStructure { is_bridge, is_articulation, bridge_ids }
+    CutStructure {
+        is_bridge,
+        is_articulation,
+        bridge_ids,
+    }
 }
 
 #[cfg(test)]
@@ -118,9 +122,9 @@ mod tests {
                 // Components among vertices != cut before removal:
                 let (comp, _) = connected_components(g);
                 let mut reps = std::collections::HashSet::new();
-                for v in 0..n {
+                for (v, &c) in comp.iter().enumerate().take(n) {
                     if v != cut {
-                        reps.insert(comp[v]);
+                        reps.insert(c);
                     }
                 }
                 k_after > reps.len()
@@ -144,8 +148,8 @@ mod tests {
 
     #[test]
     fn cycle_no_bridges() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)]).unwrap();
         let cs = cut_structure(&g);
         assert!(cs.bridge_ids.is_empty());
         assert!(cs.is_articulation.iter().all(|&a| !a));

@@ -15,8 +15,15 @@ pub struct Dsu {
 impl Dsu {
     /// All-singletons structure over `len` elements.
     pub fn new(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "Dsu supports at most 2^32-1 elements");
-        Dsu { parent: (0..len as u32).collect(), size: vec![1; len], components: len }
+        assert!(
+            len <= u32::MAX as usize,
+            "Dsu supports at most 2^32-1 elements"
+        );
+        Dsu {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
     }
 
     /// Number of elements.

@@ -46,13 +46,22 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {vertices} vertices)")
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {vertices} vertices)"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} not allowed in a simple uncertain graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple uncertain graph"
+                )
             }
             GraphError::DuplicateEdge { u, v } => {
-                write!(f, "duplicate edge ({u}, {v}) not allowed in a simple uncertain graph")
+                write!(
+                    f,
+                    "duplicate edge ({u}, {v}) not allowed in a simple uncertain graph"
+                )
             }
             GraphError::InvalidProbability { u, v, p } => {
                 write!(f, "edge ({u}, {v}) has probability {p} outside (0, 1]")

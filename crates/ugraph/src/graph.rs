@@ -54,10 +54,16 @@ impl UncertainGraph {
         let mut seen = std::collections::HashSet::new();
         for (u, v, p) in edge_list {
             if u >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u, vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u,
+                    vertices: n,
+                });
             }
             if v >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v, vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v,
+                    vertices: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop { vertex: u });
@@ -150,14 +156,19 @@ impl UncertainGraph {
     /// Returns a sorted, deduplicated copy.
     pub fn validate_terminals(&self, terminals: &[VertexId]) -> Result<Vec<VertexId>> {
         if terminals.is_empty() {
-            return Err(GraphError::InvalidTerminals { reason: "terminal set is empty".into() });
+            return Err(GraphError::InvalidTerminals {
+                reason: "terminal set is empty".into(),
+            });
         }
         let mut t = terminals.to_vec();
         t.sort_unstable();
         t.dedup();
         if let Some(&bad) = t.iter().find(|&&v| v >= self.n) {
             return Err(GraphError::InvalidTerminals {
-                reason: format!("terminal {bad} out of range (graph has {} vertices)", self.n),
+                reason: format!(
+                    "terminal {bad} out of range (graph has {} vertices)",
+                    self.n
+                ),
             });
         }
         Ok(t)
@@ -271,8 +282,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_renumbers() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.8)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.8)]).unwrap();
         let keep = vec![true, false, true, true];
         let (sub, map) = g.induced_subgraph(&keep);
         assert_eq!(sub.num_vertices(), 3);

@@ -31,7 +31,12 @@ pub struct MultiGraph {
 impl MultiGraph {
     /// Empty multigraph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        MultiGraph { n, edges: Vec::new(), adj: vec![Vec::new(); n], alive: 0 }
+        MultiGraph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            alive: 0,
+        }
     }
 
     /// Copy of a simple uncertain graph.
@@ -110,7 +115,10 @@ impl MultiGraph {
 
     /// Iterate live edges as `(id, edge)`.
     pub fn live_edges(&self) -> impl Iterator<Item = (usize, MEdge)> + '_ {
-        self.edges.iter().enumerate().filter_map(|(i, e)| e.map(|e| (i, e)))
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
     }
 
     /// Convert to a simple [`UncertainGraph`], dropping isolated vertices.

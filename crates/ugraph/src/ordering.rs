@@ -61,7 +61,9 @@ fn degeneracy_order(g: &UncertainGraph) -> Vec<EdgeId> {
         while buckets[cursor].is_empty() {
             cursor += 1;
         }
-        let Some(v) = buckets[cursor].pop() else { continue };
+        let Some(v) = buckets[cursor].pop() else {
+            continue;
+        };
         if removed[v] || deg[v].min(n - 1) != cursor {
             continue; // stale bucket entry
         }
@@ -104,7 +106,11 @@ fn traversal_order(g: &UncertainGraph, start: VertexId, depth_first: bool) -> Ve
         }
         vertex_seen[root] = true;
         pending.push_back(root);
-        while let Some(v) = if depth_first { pending.pop_back() } else { pending.pop_front() } {
+        while let Some(v) = if depth_first {
+            pending.pop_back()
+        } else {
+            pending.pop_front()
+        } {
             for &(w, eid) in g.neighbors(v) {
                 if !edge_done[eid] {
                     edge_done[eid] = true;
@@ -169,7 +175,12 @@ impl FrontierPlan {
             cur += d;
             max_width = max_width.max(cur as usize);
         }
-        FrontierPlan { order, first_touch, last_touch, max_width }
+        FrontierPlan {
+            order,
+            first_touch,
+            last_touch,
+            max_width,
+        }
     }
 
     /// Convenience: order by strategy, then build.
@@ -223,7 +234,12 @@ mod tests {
     #[test]
     fn orders_are_permutations() {
         let g = grid2x3();
-        for strat in [EdgeOrder::Input, EdgeOrder::Bfs, EdgeOrder::Dfs, EdgeOrder::Degeneracy] {
+        for strat in [
+            EdgeOrder::Input,
+            EdgeOrder::Bfs,
+            EdgeOrder::Dfs,
+            EdgeOrder::Degeneracy,
+        ] {
             let mut o = edge_order(&g, strat, 0);
             o.sort_unstable();
             assert_eq!(o, (0..g.num_edges()).collect::<Vec<_>>(), "{strat:?}");
@@ -233,7 +249,10 @@ mod tests {
     #[test]
     fn input_order_is_identity() {
         let g = grid2x3();
-        assert_eq!(edge_order(&g, EdgeOrder::Input, 0), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(
+            edge_order(&g, EdgeOrder::Input, 0),
+            vec![0, 1, 2, 3, 4, 5, 6]
+        );
     }
 
     #[test]
@@ -271,7 +290,12 @@ mod tests {
         let g = UncertainGraph::new(2 * len, edges).unwrap();
         let input = FrontierPlan::for_strategy(&g, EdgeOrder::Input, 0);
         let bfs = FrontierPlan::for_strategy(&g, EdgeOrder::Bfs, 0);
-        assert!(bfs.max_width < input.max_width, "bfs {} vs input {}", bfs.max_width, input.max_width);
+        assert!(
+            bfs.max_width < input.max_width,
+            "bfs {} vs input {}",
+            bfs.max_width,
+            input.max_width
+        );
     }
 
     #[test]

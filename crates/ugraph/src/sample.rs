@@ -32,7 +32,15 @@ impl WorldSampler {
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize);
         WorldSampler {
-            slots: vec![Slot { parent: 0, size: 0, tcount: 0, epoch: 0 }; n],
+            slots: vec![
+                Slot {
+                    parent: 0,
+                    size: 0,
+                    tcount: 0,
+                    epoch: 0
+                };
+                n
+            ],
             epoch: 0,
         }
     }
@@ -68,7 +76,12 @@ impl WorldSampler {
         if self.epoch == 0 {
             // Extremely rare wrap: do one eager pass so stale epochs can't alias.
             for (i, s) in self.slots.iter_mut().enumerate() {
-                *s = Slot { parent: i as u32, size: 1, tcount: 0, epoch: 0 };
+                *s = Slot {
+                    parent: i as u32,
+                    size: 1,
+                    tcount: 0,
+                    epoch: 0,
+                };
             }
         }
         for &t in terminals {
@@ -181,7 +194,9 @@ mod tests {
         let mut s = WorldSampler::new(3);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 200_000;
-        let hits = (0..n).filter(|_| s.sample_connected(&g, &[0, 2], &mut rng)).count();
+        let hits = (0..n)
+            .filter(|_| s.sample_connected(&g, &[0, 2], &mut rng))
+            .count();
         let est = hits as f64 / n as f64;
         assert!((est - 0.25).abs() < 0.01, "estimate {est}");
     }
@@ -219,7 +234,9 @@ mod tests {
         let mut s = WorldSampler::new(2);
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100_000;
-        let hits = (0..n).filter(|_| s.sample_connected(&g, &[0, 1], &mut rng)).count();
+        let hits = (0..n)
+            .filter(|_| s.sample_connected(&g, &[0, 1], &mut rng))
+            .count();
         let est = hits as f64 / n as f64;
         assert!((est - 0.5).abs() < 0.01, "estimate {est}");
     }

@@ -25,10 +25,12 @@ pub fn steiner_subtree(adj: &[Vec<(usize, usize)>], is_terminal: &[bool]) -> Ste
     let n = adj.len();
     assert_eq!(is_terminal.len(), n);
     let mut deg: Vec<usize> = adj.iter().map(|a| a.len()).collect();
-    debug_assert!(deg.iter().sum::<usize>() / 2 < n.max(1), "input must be a forest");
+    debug_assert!(
+        deg.iter().sum::<usize>() / 2 < n.max(1),
+        "input must be a forest"
+    );
     let mut removed = vec![false; n];
-    let mut queue: Vec<usize> =
-        (0..n).filter(|&v| deg[v] <= 1 && !is_terminal[v]).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&v| deg[v] <= 1 && !is_terminal[v]).collect();
     while let Some(v) = queue.pop() {
         if removed[v] {
             continue;
@@ -59,7 +61,10 @@ pub fn steiner_subtree(adj: &[Vec<(usize, usize)>], is_terminal: &[bool]) -> Ste
         }
     }
     keep_edge.sort_unstable();
-    SteinerTree { keep_node, keep_edge }
+    SteinerTree {
+        keep_node,
+        keep_edge,
+    }
 }
 
 #[cfg(test)]
@@ -99,7 +104,10 @@ mod tests {
     #[test]
     fn star_keeps_only_terminal_arms() {
         // Star: center 0, leaves 1..5; terminals {1, 2}.
-        let adj = adj_of(6, &[(0, 1, 10), (0, 2, 20), (0, 3, 30), (0, 4, 40), (0, 5, 50)]);
+        let adj = adj_of(
+            6,
+            &[(0, 1, 10), (0, 2, 20), (0, 3, 30), (0, 4, 40), (0, 5, 50)],
+        );
         let t = vec![false, true, true, false, false, false];
         let st = steiner_subtree(&adj, &t);
         assert_eq!(st.keep_node, vec![true, true, true, false, false, false]);

@@ -40,7 +40,10 @@ pub fn two_edge_connected_components(g: &UncertainGraph, cut: &CutStructure) -> 
         }
         next += 1;
     }
-    TwoEcc { comp, num_comps: next }
+    TwoEcc {
+        comp,
+        num_comps: next,
+    }
 }
 
 /// The graph obtained by contracting each 2ECC into one super vertex; the
@@ -77,7 +80,11 @@ impl BridgeForest {
         for &t in terminals {
             node_terminal[ecc.comp[t]] = true;
         }
-        BridgeForest { num_nodes: ecc.num_comps, adj, node_terminal }
+        BridgeForest {
+            num_nodes: ecc.num_comps,
+            adj,
+            node_terminal,
+        }
     }
 }
 
@@ -139,8 +146,8 @@ mod tests {
 
     #[test]
     fn single_2ecc_graph() {
-        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)])
-            .unwrap();
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)]).unwrap();
         let cut = cut_structure(&g);
         let ecc = two_edge_connected_components(&g, &cut);
         assert_eq!(ecc.num_comps, 1);

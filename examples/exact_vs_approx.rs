@@ -4,15 +4,19 @@
 //!
 //! Run with: `cargo run --release --example exact_vs_approx`
 
-use network_reliability::prelude::*;
 use network_reliability::datasets::karate::karate;
+use network_reliability::prelude::*;
 
 fn main() {
     // The paper's accuracy dataset: the Zachary karate club with uniformly
     // random edge probabilities.
     let g = karate(2024);
     let terminals = vec![0, 16, 25, 33, 5];
-    println!("graph: {} (k = {})\n", GraphStats::compute(&g), terminals.len());
+    println!(
+        "graph: {} (k = {})\n",
+        GraphStats::compute(&g),
+        terminals.len()
+    );
 
     let exact = exact_reliability(&g, &terminals).unwrap();
     println!("exact reliability R = {exact:.6}\n");
@@ -25,7 +29,12 @@ fn main() {
         let r = S2Bdd::solve(
             &g,
             &terminals,
-            S2BddConfig { max_width: w, samples: 20_000, seed: 1, ..Default::default() },
+            S2BddConfig {
+                max_width: w,
+                samples: 20_000,
+                seed: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         println!(

@@ -53,7 +53,12 @@ fn main() {
             &g,
             &members,
             ProConfig {
-                s2bdd: S2BddConfig { samples: 2_000, max_width: 2_000, seed: 5, ..Default::default() },
+                s2bdd: S2BddConfig {
+                    samples: 2_000,
+                    max_width: 2_000,
+                    seed: 5,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -64,7 +69,11 @@ fn main() {
         let mc = sample_reliability(
             &g,
             &members,
-            SamplingConfig { samples: 2_000, seed: 5, ..Default::default() },
+            SamplingConfig {
+                samples: 2_000,
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mc_ms = t1.elapsed().as_secs_f64() * 1e3;

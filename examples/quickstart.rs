@@ -52,7 +52,11 @@ fn main() {
     let mc = sample_reliability(
         &g,
         &terminals,
-        SamplingConfig { samples: 100_000, seed: 42, ..Default::default() },
+        SamplingConfig {
+            samples: 100_000,
+            seed: 42,
+            ..Default::default()
+        },
     )
     .unwrap();
     println!(
@@ -67,7 +71,11 @@ fn main() {
         &g,
         &terminals,
         ProConfig {
-            s2bdd: S2BddConfig { max_width: 2, samples: 50_000, ..Default::default() },
+            s2bdd: S2BddConfig {
+                max_width: 2,
+                samples: 50_000,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )

@@ -25,7 +25,12 @@ fn main() {
     println!("query vertex: {query}, threshold η = {eta}\n");
 
     let cfg = ProConfig {
-        s2bdd: S2BddConfig { samples: 500, max_width: 1_000, seed: 8, ..Default::default() },
+        s2bdd: S2BddConfig {
+            samples: 500,
+            max_width: 1_000,
+            seed: 8,
+            ..Default::default()
+        },
         ..Default::default()
     };
 
@@ -73,5 +78,9 @@ fn main() {
     for (v, est, how) in accepted.iter().take(12) {
         println!("{v:>8} {est:>12.4} {how:>10}");
     }
-    println!("\nsearch over {} candidates took {:.2}s", pool.len(), elapsed);
+    println!(
+        "\nsearch over {} candidates took {:.2}s",
+        pool.len(),
+        elapsed
+    );
 }

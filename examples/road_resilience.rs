@@ -55,7 +55,12 @@ fn main() {
 
     // Baseline reliability with the paper's approach.
     let cfg = ProConfig {
-        s2bdd: S2BddConfig { samples: 5_000, max_width: 5_000, seed: 3, ..Default::default() },
+        s2bdd: S2BddConfig {
+            samples: 5_000,
+            max_width: 5_000,
+            seed: 3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let t1 = Instant::now();
@@ -72,8 +77,12 @@ fn main() {
 
     // Reinforcement strategy: upgrade the 10 most failure-prone segments on
     // the pruned core (raise survival probability to 0.99) and re-evaluate.
-    let mut ranked: Vec<(usize, f64)> =
-        g.edges().iter().enumerate().map(|(i, e)| (i, e.p)).collect();
+    let mut ranked: Vec<(usize, f64)> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.p))
+        .collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     let upgrades: Vec<usize> = ranked.iter().take(10).map(|&(i, _)| i).collect();
     let reinforced = UncertainGraph::new(

@@ -33,7 +33,7 @@ fn four_solvers_agree_on_small_graphs() {
     // distinct code paths; they must agree to 1e-10 on anything tiny.
     let mut rng = StdRng::seed_from_u64(42);
     for trial in 0..20 {
-        let n = rng.gen_range(4..8);
+        let n: usize = rng.gen_range(4..8);
         let m = rng.gen_range(n - 1..(n * (n - 1) / 2).min(12));
         let mut edges = std::collections::BTreeMap::new();
         while edges.len() < m {
@@ -47,13 +47,24 @@ fn four_solvers_agree_on_small_graphs() {
         let t = random_terminals(&g, 2 + trial % 3, trial as u64);
 
         let brute = brute_force_reliability(&g, &t);
-        let full = FullBdd::build(&g, &t, FullBddConfig::default()).unwrap().reliability;
+        let full = FullBdd::build(&g, &t, FullBddConfig::default())
+            .unwrap()
+            .reliability;
         let s2 = S2Bdd::solve(&g, &t, S2BddConfig::exact()).unwrap().estimate;
         let pro = exact_reliability(&g, &t).unwrap();
 
-        assert!((brute - full).abs() < 1e-10, "trial {trial}: brute {brute} vs full {full}");
-        assert!((brute - s2).abs() < 1e-10, "trial {trial}: brute {brute} vs s2bdd {s2}");
-        assert!((brute - pro).abs() < 1e-10, "trial {trial}: brute {brute} vs pro {pro}");
+        assert!(
+            (brute - full).abs() < 1e-10,
+            "trial {trial}: brute {brute} vs full {full}"
+        );
+        assert!(
+            (brute - s2).abs() < 1e-10,
+            "trial {trial}: brute {brute} vs s2bdd {s2}"
+        );
+        assert!(
+            (brute - pro).abs() < 1e-10,
+            "trial {trial}: brute {brute} vs pro {pro}"
+        );
     }
 }
 
@@ -68,7 +79,9 @@ fn karate_exact_vs_paper_figure_anchor() {
         full.induced_subgraph(&keep).0
     };
     let t = vec![0, 21, 16];
-    let full = FullBdd::build(&g, &t, FullBddConfig::default()).unwrap().reliability;
+    let full = FullBdd::build(&g, &t, FullBddConfig::default())
+        .unwrap()
+        .reliability;
     let s2 = exact_reliability(&g, &t).unwrap();
     assert!((full - s2).abs() < 1e-10, "{full} vs {s2}");
     assert!(full > 0.0 && full < 1.0);
@@ -84,13 +97,25 @@ fn pro_approximation_close_to_exact_on_karate() {
             &g,
             &t,
             ProConfig {
-                s2bdd: S2BddConfig { max_width: 64, samples: 50_000, seed: 9, ..Default::default() },
+                s2bdd: S2BddConfig {
+                    max_width: 64,
+                    samples: 50_000,
+                    seed: 9,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
         .unwrap();
-        assert!(r.lower_bound <= exact + 1e-9 && exact <= r.upper_bound + 1e-9, "k={k}");
-        assert!((r.estimate - exact).abs() < 0.05, "k={k}: {} vs {exact}", r.estimate);
+        assert!(
+            r.lower_bound <= exact + 1e-9 && exact <= r.upper_bound + 1e-9,
+            "k={k}"
+        );
+        assert!(
+            (r.estimate - exact).abs() < 0.05,
+            "k={k}: {} vs {exact}",
+            r.estimate
+        );
     }
 }
 
@@ -117,7 +142,12 @@ fn sampling_baseline_brackets_pro_on_dblp_like_graph() {
         &g,
         &t,
         ProConfig {
-            s2bdd: S2BddConfig { samples: 3_000, max_width: 3_000, seed: 4, ..Default::default() },
+            s2bdd: S2BddConfig {
+                samples: 3_000,
+                max_width: 3_000,
+                seed: 4,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -125,7 +155,11 @@ fn sampling_baseline_brackets_pro_on_dblp_like_graph() {
     let mc = sample_reliability(
         &g,
         &t,
-        SamplingConfig { samples: 30_000, seed: 4, ..Default::default() },
+        SamplingConfig {
+            samples: 30_000,
+            seed: 4,
+            ..Default::default()
+        },
     )
     .unwrap();
     let sigma = (pro.variance_estimate + mc.variance_estimate).sqrt();
@@ -147,7 +181,12 @@ fn road_network_pipeline_smoke() {
         &g,
         &t,
         ProConfig {
-            s2bdd: S2BddConfig { samples: 1_000, max_width: 2_000, seed: 2, ..Default::default() },
+            s2bdd: S2BddConfig {
+                samples: 1_000,
+                max_width: 2_000,
+                seed: 2,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -155,7 +194,11 @@ fn road_network_pipeline_smoke() {
     assert!((0.0..=1.0).contains(&r.estimate));
     assert!(r.lower_bound <= r.estimate && r.estimate <= r.upper_bound);
     // Road networks shrink substantially under the extension technique.
-    assert!(r.preprocess_stats.reduced_ratio < 0.9, "ratio {}", r.preprocess_stats.reduced_ratio);
+    assert!(
+        r.preprocess_stats.reduced_ratio < 0.9,
+        "ratio {}",
+        r.preprocess_stats.reduced_ratio
+    );
 }
 
 #[test]
@@ -166,7 +209,12 @@ fn hitd_like_graph_runs_within_budget() {
         &g,
         &t,
         ProConfig {
-            s2bdd: S2BddConfig { samples: 500, max_width: 500, seed: 6, ..Default::default() },
+            s2bdd: S2BddConfig {
+                samples: 500,
+                max_width: 500,
+                seed: 6,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -184,10 +232,20 @@ fn estimators_agree_within_error_on_karate() {
         let r = S2Bdd::solve(
             &g,
             &t,
-            S2BddConfig { max_width: 32, samples: 50_000, estimator: est, seed: 3, ..Default::default() },
+            S2BddConfig {
+                max_width: 32,
+                samples: 50_000,
+                estimator: est,
+                seed: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!((r.estimate - exact).abs() < 0.05, "{est:?}: {} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 0.05,
+            "{est:?}: {} vs {exact}",
+            r.estimate
+        );
     }
 }
 

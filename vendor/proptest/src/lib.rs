@@ -1,0 +1,427 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! Supports the subset the workspace's tests use: range strategies over
+//! integers and floats, tuple strategies, [`collection::vec`],
+//! [`Strategy::prop_filter_map`], and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assume!`] macros. Cases are generated from a
+//! fixed-seed deterministic RNG so CI runs are reproducible. **No shrinking**:
+//! a failing case reports its `Debug` rendering and panics immediately.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+    /// Give up after this many consecutive rejections (filter/assume misses).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Default configuration with `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// The RNG handed to strategies; deterministic per test.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Generate one value; `None` means this draw was rejected
+    /// (e.g. by a filter) and the runner should retry.
+    fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`, rejecting draws where it returns
+    /// `None`. `whence` labels the filter in exhaustion errors.
+    fn prop_filter_map<O: Debug, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    source: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        let _ = self.whence;
+        self.source.new_value(rng).and_then(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<O> {
+        self.source.new_value(rng).map(&self.f)
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+range_strategy_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// A strategy producing one fixed value (`Just` in upstream proptest).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Outcome of one test-case closure, used by the [`proptest!`] runner.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case does not count.
+    Reject,
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+#[doc(hidden)]
+pub struct Runner {
+    rng: TestRng,
+    config: ProptestConfig,
+    accepted: u32,
+    rejected: u32,
+}
+
+impl Runner {
+    #[doc(hidden)]
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // Deterministic per test: CI failures reproduce locally.
+        let mut seed = 0xC0FF_EE00_5EED_1234u64;
+        for b in test_name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        Runner {
+            rng: TestRng::seed_from_u64(seed),
+            config,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    #[doc(hidden)]
+    pub fn keep_going(&self) -> bool {
+        self.accepted < self.config.cases
+    }
+
+    #[doc(hidden)]
+    pub fn accept(&mut self) {
+        self.accepted += 1;
+        self.rejected = 0;
+    }
+
+    #[doc(hidden)]
+    pub fn reject(&mut self, test_name: &str) {
+        self.rejected += 1;
+        assert!(
+            self.rejected < self.config.max_global_rejects,
+            "proptest shim: {test_name} rejected {} consecutive draws; \
+             filters/assumptions are too strict",
+            self.rejected,
+        );
+    }
+}
+
+/// Run a block of property tests. Mirrors upstream's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, y in 0.0f64..1.0) {
+///         prop_assert!(x as f64 * y < 10.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::Runner::new($config, stringify!($name));
+            while runner.keep_going() {
+                $(
+                    let $arg = match $crate::Strategy::new_value(&($strategy), runner.rng()) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            runner.reject(stringify!($name));
+                            continue;
+                        }
+                    };
+                )+
+                let case_desc = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => runner.accept(),
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        runner.reject(stringify!($name));
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "property `{}` failed: {}\n  case: {}",
+                            stringify!($name),
+                            msg,
+                            case_desc,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a [`proptest!`] body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0.25f64..=0.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..=0.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0usize..4, 0.0f64..1.0), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!((0.0..1.0).contains(b), "b = {}", b);
+            }
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0usize..100).prop_filter_map("even only", |x| (x % 2 == 0).then_some(x))) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x > 2);
+            prop_assert!(x > 2 && x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::Runner::new(ProptestConfig::default(), "det");
+        let mut r2 = crate::Runner::new(ProptestConfig::default(), "det");
+        let s = 0usize..1000;
+        for _ in 0..32 {
+            assert_eq!(s.new_value(r1.rng()), s.new_value(r2.rng()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_case() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no access to a crates registry, so this shim
+//! provides the surface the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs, and serialization of those structs to
+//! JSON via the sibling `serde_json` shim.
+//!
+//! Instead of upstream serde's visitor-based data model, [`Serialize`]
+//! converts values into an owned [`Value`] tree and [`Deserialize`] reads
+//! them back out of one. That is a tiny fraction of serde's design space but
+//! exactly what benchmark-row dumping and mirror-type roundtrips need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of data, the shim's entire data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a map entry by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the requested shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A shape mismatch: expected `what`, found something else.
+    pub fn expected(what: &str) -> Self {
+        DeError(format!("expected {what}"))
+    }
+
+    /// A missing struct field.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Capture `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the shim's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n).map_err(|_| DeError::expected("smaller integer")),
+                    Value::I64(n) => <$t>::try_from(*n).map_err(|_| DeError::expected("unsigned integer")),
+                    _ => Err(DeError::expected("integer")),
+                }
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n).map_err(|_| DeError::expected("smaller integer")),
+                    Value::U64(n) => <$t>::try_from(*n).map_err(|_| DeError::expected("signed integer")),
+                    _ => Err(DeError::expected("integer")),
+                }
+            }
+        }
+    )*};
+}
+
+sint_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("sequence")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            {
+                                let _ = $idx;
+                                $name::from_value(it.next().ok_or_else(|| DeError::expected("longer tuple"))?)?
+                            },
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::expected("shorter tuple"));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(DeError::expected("tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(usize::from_value(&7usize.to_value()), Ok(7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(usize, usize, f64)> = vec![(0, 1, 0.5), (1, 2, 0.25)];
+        assert_eq!(Vec::<(usize, usize, f64)>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()), Ok(None));
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(m.get("a"), Some(&Value::U64(1)));
+        assert_eq!(m.get("b"), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (the `Value`-tree model) for **plain, non-generic structs with
+//! named fields** — the only shape the workspace derives on. Parsing is done
+//! directly on the token stream because `syn`/`quote` are unavailable in this
+//! offline build environment; unsupported shapes fail loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let entries: Vec<String> = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = s.name,
+        entries = entries.join(", "),
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derive the shim `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let fields: Vec<String> = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     v.get(\"{f}\").ok_or_else(|| ::serde::DeError::missing(\"{f}\"))?\
+                 )?"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = s.name,
+        fields = fields.join(", "),
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `#[attrs…] [pub] struct Name { [pub] field: Ty, … }`.
+///
+/// Panics (a compile error at the derive site) on enums, tuple structs, and
+/// generic structs — none of which the workspace derives serde traits on.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!("serde_derive shim supports only structs, found {other:?}"),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim does not support generic structs (struct {name})")
+        }
+        other => panic!(
+            "serde_derive shim supports only named-field structs (struct {name}), found {other:?}"
+        ),
+    };
+
+    StructDef {
+        name,
+        fields: parse_field_names(body.stream()),
+    }
+}
+
+/// Extract field names from the brace-group body: for each comma-separated
+/// item, the identifier immediately before the first top-level `:`.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut expect_name = true; // at the start of a field declaration
+    let mut pending: Option<String> = None;
+    let mut depth = 0usize; // < > nesting inside types
+
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                expect_name = true;
+                pending = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 0 => {
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+                expect_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && expect_name => {
+                // Field attribute marker; the following [...] group is
+                // skipped by the `expect_name` state machine below.
+            }
+            TokenTree::Group(g) if expect_name && g.delimiter() == Delimiter::Bracket => {
+                // A field attribute body (e.g. a doc comment) — ignore.
+            }
+            TokenTree::Ident(id) if expect_name => {
+                let text = id.to_string();
+                if text != "pub" {
+                    pending = Some(text);
+                }
+            }
+            TokenTree::Group(g) if expect_name && g.delimiter() == Delimiter::Parenthesis => {
+                // `pub(crate)` — ignore.
+                let _ = g;
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
+//! tree as JSON text. Only the serialization direction is provided — that is
+//! all the workspace uses (dumping benchmark rows with `--json=`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+pub use serde::Value;
+use std::fmt::Write as _;
+
+/// Error type kept for API compatibility; rendering a [`Value`] tree cannot
+/// actually fail.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => render_f64(*x, out),
+        Value::Str(s) => render_str(s, out),
+        Value::Seq(items) => {
+            render_items(items.iter().map(Item::Seq), indent, level, out, '[', ']')
+        }
+        Value::Map(entries) => render_items(
+            entries.iter().map(|(k, v)| Item::Map(k, v)),
+            indent,
+            level,
+            out,
+            '{',
+            '}',
+        ),
+    }
+}
+
+enum Item<'a> {
+    Seq(&'a Value),
+    Map(&'a str, &'a Value),
+}
+
+fn render_items<'a>(
+    items: impl ExactSizeIterator<Item = Item<'a>>,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = level + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, inner, out);
+        match item {
+            Item::Seq(v) => render(v, indent, inner, out),
+            Item::Map(k, v) => {
+                render_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(v, indent, inner, out);
+            }
+        }
+    }
+    newline_indent(indent, level, out);
+    out.push(close);
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..level * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn render_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 1e15 {
+            // Match serde_json's "integral floats keep a .0" convention.
+            let _ = write!(out, "{x:.1}");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        // serde_json emits null for non-finite floats.
+        out.push_str("null");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U64(3)),
+            (
+                "xs".into(),
+                Value::Seq(vec![Value::F64(0.5), Value::F64(2.0)]),
+            ),
+            ("name".into(), Value::Str("a\"b".into())),
+        ]);
+        assert_eq!(
+            to_string(&Wrapper(v)).unwrap(),
+            r#"{"n":3,"xs":[0.5,2.0],"name":"a\"b"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Map(vec![(
+            "a".into(),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)]),
+        )]);
+        let text = to_string_pretty(&Wrapper(v)).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_tight() {
+        assert_eq!(
+            to_string_pretty(&Wrapper(Value::Seq(vec![]))).unwrap(),
+            "[]"
+        );
+        assert_eq!(
+            to_string_pretty(&Wrapper(Value::Map(vec![]))).unwrap(),
+            "{}"
+        );
+    }
+
+    /// `Value` itself does not implement `Serialize`; wrap it for tests.
+    struct Wrapper(Value);
+
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
