@@ -110,7 +110,7 @@ impl State {
 }
 
 /// Node-merging rules (ablation: `ExactCounts` merges less, both are exact).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum MergeRule {
     /// Merge on component partition + has-terminal pattern (paper Lemma 4.3).
     #[default]

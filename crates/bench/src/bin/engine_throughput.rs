@@ -1,0 +1,133 @@
+//! Engine throughput baseline: cold vs. warm batch queries/sec against
+//! independent one-shot `pro_reliability` calls, on the Tokyo-like (road,
+//! tree-like) and DBLP-like (coauthor, dense-core) generators.
+//!
+//! Writes `BENCH_engine.json` (override with `--json=`) so future PRs have a
+//! perf trajectory to compare against. `--scale=` sizes the graphs.
+
+use netrel_bench::{fmt_secs, maybe_dump_json, overlapping_terminal_pairs, parse_args, time};
+use netrel_core::{pro_reliability, ProConfig};
+use netrel_datasets::Dataset;
+use netrel_engine::{Engine, EngineConfig, QueryAnswer, ReliabilityQuery};
+use netrel_s2bdd::S2BddConfig;
+use serde::Serialize;
+
+const QUERIES: usize = 100;
+const DISTINCT_PAIRS: usize = 10;
+const BATCH: usize = 10;
+
+#[derive(Clone, Debug, Serialize)]
+struct Row {
+    dataset: String,
+    vertices: usize,
+    edges: usize,
+    queries: usize,
+    distinct_pairs: usize,
+    oneshot_secs: f64,
+    cold_secs: f64,
+    warm_secs: f64,
+    oneshot_qps: f64,
+    cold_qps: f64,
+    warm_qps: f64,
+    cold_speedup: f64,
+    warm_speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.json.is_none() {
+        args.json = Some("BENCH_engine.json".into());
+    }
+    let cfg = ProConfig {
+        s2bdd: S2BddConfig {
+            max_width: 32,
+            samples: 2_000,
+            seed: args.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "dataset", "oneshot", "cold", "warm", "cold q/s", "warm q/s", "cold x", "warm x"
+    );
+    for ds in [Dataset::Tokyo, Dataset::Dblp1] {
+        let g = ds.generate(args.scale, args.seed);
+        let pairs = overlapping_terminal_pairs(&g, DISTINCT_PAIRS, args.seed);
+        let queries: Vec<ReliabilityQuery> = (0..QUERIES)
+            .map(|i| ReliabilityQuery::with_config(pairs[i % pairs.len()].clone(), cfg))
+            .collect();
+
+        // Independent one-shot calls: full preprocessing per call, no cache.
+        let (solo, oneshot_secs) = time(|| {
+            queries
+                .iter()
+                .map(|q| pro_reliability(&g, &q.terminals, q.config).unwrap())
+                .collect::<Vec<_>>()
+        });
+
+        // Cold engine: index build + batched answering in arrival order.
+        let mut engine = Engine::new(EngineConfig::sequential());
+        let id = engine.register(ds.spec().abbr, g.clone());
+        let (cold, cold_secs) = time(|| run_chunks(&engine, id, &queries));
+
+        // Warm engine: the same workload against the now-populated cache.
+        let (warm, warm_secs) = time(|| run_chunks(&engine, id, &queries));
+
+        for ((s, c), w) in solo.iter().zip(&cold).zip(&warm) {
+            assert_eq!(s.estimate.to_bits(), c.estimate.to_bits(), "cold mismatch");
+            assert_eq!(s.estimate.to_bits(), w.estimate.to_bits(), "warm mismatch");
+        }
+
+        let stats = engine.cache_stats();
+        let row = Row {
+            dataset: ds.spec().abbr.to_string(),
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            queries: QUERIES,
+            distinct_pairs: DISTINCT_PAIRS,
+            oneshot_secs,
+            cold_secs,
+            warm_secs,
+            oneshot_qps: QUERIES as f64 / oneshot_secs,
+            cold_qps: QUERIES as f64 / cold_secs,
+            warm_qps: QUERIES as f64 / warm_secs,
+            cold_speedup: oneshot_secs / cold_secs,
+            warm_speedup: oneshot_secs / warm_secs,
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+        };
+        println!(
+            "{:<8} {:>9} {:>9} {:>10} {:>10.1} {:>10.1} {:>7.1}x {:>7.1}x",
+            row.dataset,
+            fmt_secs(row.oneshot_secs),
+            fmt_secs(row.cold_secs),
+            fmt_secs(row.warm_secs),
+            row.cold_qps,
+            row.warm_qps,
+            row.cold_speedup,
+            row.warm_speedup,
+        );
+        rows.push(row);
+    }
+    maybe_dump_json(&args, &rows);
+}
+
+/// Answer the workload in service-sized batches, preserving query order.
+fn run_chunks(
+    engine: &Engine,
+    id: netrel_engine::GraphId,
+    queries: &[ReliabilityQuery],
+) -> Vec<QueryAnswer> {
+    let mut answers = Vec::with_capacity(queries.len());
+    for chunk in queries.chunks(BATCH) {
+        for a in engine.run_batch(id, chunk).expect("graph registered") {
+            answers.push(a.expect("valid query"));
+        }
+    }
+    answers
+}

@@ -1,0 +1,59 @@
+//! `netrel-serve` — the newline-delimited JSON reliability query service.
+//!
+//! Reads one JSON request per line on stdin, writes one JSON response per
+//! line on stdout (blank lines are skipped; diagnostics go to stderr). The
+//! protocol lives in `netrel_engine::service`; this binary is only the
+//! stdin/stdout pump, so the same engine can later sit behind any other
+//! transport.
+//!
+//! ```text
+//! $ netrel-serve <<'EOF'
+//! {"op":"register","name":"g","vertices":4,"edges":[[0,1,0.9],[1,2,0.8],[2,3,0.9],[3,0,0.7]]}
+//! {"op":"query","graph":"g","terminals":[0,2]}
+//! {"op":"stats"}
+//! EOF
+//! ```
+
+use netrel_engine::service::Service;
+use netrel_engine::{Engine, EngineConfig};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut workers = 0usize; // 0 = EngineConfig::default() auto-detection
+    let mut cache = usize::MAX;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--workers=") {
+            workers = v.parse().expect("--workers takes an integer");
+        } else if let Some(v) = arg.strip_prefix("--cache=") {
+            cache = v.parse().expect("--cache takes an integer (entries)");
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: netrel-serve [--workers=N] [--cache=ENTRIES]");
+            eprintln!("NDJSON protocol: see `netrel_engine::service` docs.");
+            return;
+        } else {
+            eprintln!("warning: unknown argument {arg:?} ignored");
+        }
+    }
+    let mut cfg = EngineConfig::default();
+    if workers > 0 {
+        cfg.workers = workers;
+    }
+    if cache != usize::MAX {
+        cfg.plan_cache_capacity = cache;
+    }
+
+    let mut service = Service::new(Engine::new(cfg));
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.expect("failed to read stdin");
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = service.handle_line(trimmed);
+        writeln!(out, "{response}").expect("failed to write stdout");
+        out.flush().expect("failed to flush stdout");
+    }
+}

@@ -33,7 +33,10 @@ pub mod pro;
 pub mod sampling;
 
 pub use exact::exact_reliability;
-pub use pro::{pro_reliability, st_reliability, ProConfig, ProResult};
+pub use pro::{
+    combine_part_results, part_s2bdd_config, pro_reliability, pro_reliability_with_index,
+    st_reliability, zero_pro_result, ProConfig, ProResult,
+};
 pub use sampling::{sample_reliability, SamplingConfig, SamplingResult};
 
 /// Convenience re-exports for downstream users.

@@ -5,7 +5,9 @@
 //! `R̂[G, T] = p_b · Π_i R̂[G_i, T_i]`. Besides the speedup from smaller
 //! graphs, decomposition provably lowers the estimator variance (Theorem 4).
 
-use netrel_preprocess::{preprocess, PreprocessConfig, PreprocessStats};
+use netrel_preprocess::{
+    preprocess_with_index, GraphIndex, PreprocessConfig, PreprocessStats, Preprocessed,
+};
 use netrel_s2bdd::{S2Bdd, S2BddConfig, S2BddResult};
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 
@@ -67,60 +69,47 @@ pub struct ProResult {
     pub variance_estimate: f64,
 }
 
-/// Run the paper's approach on `(g, terminals)`.
-pub fn pro_reliability(
-    g: &UncertainGraph,
-    terminals: &[VertexId],
-    cfg: ProConfig,
-) -> Result<ProResult, GraphError> {
-    let pre = preprocess(g, terminals, cfg.preprocess)?;
-    if pre.trivially_zero {
-        return Ok(ProResult {
-            estimate: 0.0,
-            lower_bound: 0.0,
-            upper_bound: 0.0,
-            exact: true,
-            pb: 0.0,
-            samples_used: 0,
-            preprocess_stats: pre.stats,
-            parts: Vec::new(),
-            variance_estimate: 0.0,
-        });
+/// The S2BDD configuration used for part number `part_index` of a
+/// decomposition: the base configuration with a per-part seed, so the
+/// per-part sampling streams are decorrelated and independent of both the
+/// thread schedule and the surrounding batch. Exposed so multi-query engines
+/// reproduce `pro_reliability`'s draws exactly (and so cached part results
+/// stay interchangeable with freshly solved ones).
+pub fn part_s2bdd_config(base: S2BddConfig, part_index: usize) -> S2BddConfig {
+    let mut part_cfg = base;
+    part_cfg.seed = base.seed ^ (part_index as u64 + 1).wrapping_mul(0xA24BAED4963EE407);
+    part_cfg
+}
+
+/// The `Pro` result for a trivially-zero instance (terminals provably
+/// disconnected): exact 0 with no parts.
+pub fn zero_pro_result(preprocess_stats: PreprocessStats) -> ProResult {
+    ProResult {
+        estimate: 0.0,
+        lower_bound: 0.0,
+        upper_bound: 0.0,
+        exact: true,
+        pb: 0.0,
+        samples_used: 0,
+        preprocess_stats,
+        parts: Vec::new(),
+        variance_estimate: 0.0,
     }
+}
 
-    let part_cfg_for = |i: usize| {
-        let mut part_cfg = cfg.s2bdd;
-        // Decorrelate the per-part sampling streams.
-        part_cfg.seed = cfg.s2bdd.seed ^ (i as u64 + 1).wrapping_mul(0xA24BAED4963EE407);
-        part_cfg
-    };
-    let solved: Vec<S2BddResult> = if cfg.parallel_parts && pre.parts.len() > 1 {
-        let results: Vec<Result<S2BddResult, GraphError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pre
-                .parts
-                .iter()
-                .enumerate()
-                .map(|(i, part)| {
-                    scope.spawn(move || S2Bdd::solve(&part.graph, &part.terminals, part_cfg_for(i)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("part solver panicked"))
-                .collect()
-        });
-        results.into_iter().collect::<Result<Vec<_>, _>>()?
-    } else {
-        let mut out = Vec::with_capacity(pre.parts.len());
-        for (i, part) in pre.parts.iter().enumerate() {
-            out.push(S2Bdd::solve(&part.graph, &part.terminals, part_cfg_for(i))?);
-        }
-        out
-    };
-
-    let mut estimate = pre.pb;
-    let mut lower = pre.pb;
-    let mut upper = pre.pb;
+/// Recombine solved per-part results into the final `Pro` answer:
+/// `R̂ = p_b · Π R̂ᵢ`, bounds multiplied likewise, and the product-estimator
+/// variance composed per Theorem 4. `solved` must be in part order. This is
+/// the exact recombination `pro_reliability` performs, factored out so
+/// engines that source part results from a cache assemble identical answers.
+pub fn combine_part_results(
+    pb: f64,
+    preprocess_stats: PreprocessStats,
+    solved: Vec<S2BddResult>,
+) -> ProResult {
+    let mut estimate = pb;
+    let mut lower = pb;
+    let mut upper = pb;
     let mut exact = true;
     let mut samples_used = 0usize;
     // Variance of a product of independent estimators (Theorem 4):
@@ -138,18 +127,85 @@ pub fn pro_reliability(
         prod_mean_sq *= r.estimate * r.estimate;
         parts.push(r);
     }
-    let variance_estimate = (pre.pb * pre.pb * (prod_second_moment - prod_mean_sq)).max(0.0);
-    Ok(ProResult {
+    let variance_estimate = (pb * pb * (prod_second_moment - prod_mean_sq)).max(0.0);
+    ProResult {
         estimate,
         lower_bound: lower,
         upper_bound: upper.max(lower),
         exact,
-        pb: pre.pb,
+        pb,
         samples_used,
-        preprocess_stats: pre.stats,
+        preprocess_stats,
         parts,
         variance_estimate,
-    })
+    }
+}
+
+/// Run the paper's approach on `(g, terminals)`.
+pub fn pro_reliability(
+    g: &UncertainGraph,
+    terminals: &[VertexId],
+    cfg: ProConfig,
+) -> Result<ProResult, GraphError> {
+    let index = GraphIndex::build(g);
+    pro_reliability_with_index(g, &index, terminals, cfg)
+}
+
+/// [`pro_reliability`] against a precomputed terminal-independent
+/// [`GraphIndex`] of `g` (see `netrel-preprocess`). Behavior and draws are
+/// identical to [`pro_reliability`]; the index only removes per-call
+/// recomputation of terminal-independent structure.
+pub fn pro_reliability_with_index(
+    g: &UncertainGraph,
+    index: &GraphIndex,
+    terminals: &[VertexId],
+    cfg: ProConfig,
+) -> Result<ProResult, GraphError> {
+    let pre = preprocess_with_index(g, index, terminals, cfg.preprocess)?;
+    if pre.trivially_zero {
+        return Ok(zero_pro_result(pre.stats));
+    }
+    let solved = solve_parts(&pre, &cfg)?;
+    Ok(combine_part_results(pre.pb, pre.stats, solved))
+}
+
+/// Solve every part of a preprocessed instance, sequentially or on scoped
+/// worker threads (`cfg.parallel_parts`). Seeds are derived per part index
+/// ([`part_s2bdd_config`]), so both paths produce bit-identical results.
+fn solve_parts(pre: &Preprocessed, cfg: &ProConfig) -> Result<Vec<S2BddResult>, GraphError> {
+    if cfg.parallel_parts && pre.parts.len() > 1 {
+        let results: Vec<Result<S2BddResult, GraphError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pre
+                .parts
+                .iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    scope.spawn(move || {
+                        S2Bdd::solve(
+                            &part.graph,
+                            &part.terminals,
+                            part_s2bdd_config(cfg.s2bdd, i),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("part solver panicked"))
+                .collect()
+        });
+        results.into_iter().collect::<Result<Vec<_>, _>>()
+    } else {
+        let mut out = Vec::with_capacity(pre.parts.len());
+        for (i, part) in pre.parts.iter().enumerate() {
+            out.push(S2Bdd::solve(
+                &part.graph,
+                &part.terminals,
+                part_s2bdd_config(cfg.s2bdd, i),
+            )?);
+        }
+        Ok(out)
+    }
 }
 
 /// Two-terminal (s–t) reliability — the classical special case (`k = 2`,

@@ -1,0 +1,332 @@
+//! The part-level plan cache.
+//!
+//! Preprocessing decomposes every query into *parts* — small canonical
+//! subproblems `(graph, terminals)` solved by one S2BDD run each. Real
+//! workloads (s-t benchmark suites, reliability-maximization inner loops,
+//! hot terminal pairs) re-derive the same parts over and over: repeated
+//! queries obviously, but also *overlapping* queries whose decompositions
+//! share components. Caching at part granularity therefore hits strictly
+//! more often than caching whole answers would.
+//!
+//! Keys are **full structural keys**, not hashes: the part's edge list
+//! (endpoints + probability bits), its terminal set, and the complete
+//! [`S2BddConfig`] (including the per-part derived seed). Two subproblems
+//! alias only if every one of those is identical — in which case the solver
+//! is deterministic and the cached result *is* the result. A config change
+//! (width, samples, seed, estimator, order, merge rule, …) always changes
+//! the key.
+
+use netrel_s2bdd::{S2BddConfig, S2BddResult};
+use netrel_ugraph::{UncertainGraph, VertexId};
+use std::collections::HashMap;
+
+/// Canonical identity of one part-level S2BDD solve.
+///
+/// Parts come out of preprocessing densely renumbered in a deterministic
+/// order, so structurally identical subproblems produce identical keys no
+/// matter which query (or graph) they came from.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// `(u, v, p.to_bits())` per edge, in part edge order.
+    edges: Box<[(u32, u32, u64)]>,
+    /// Sorted terminal ids within the part.
+    terminals: Box<[u32]>,
+    /// The exact solver configuration, per-part seed included.
+    config: S2BddConfig,
+}
+
+impl PlanKey {
+    /// Build the key for solving `(graph, terminals)` under `config`.
+    pub fn new(graph: &UncertainGraph, terminals: &[VertexId], config: S2BddConfig) -> Self {
+        let edges: Box<[(u32, u32, u64)]> = graph
+            .edges()
+            .iter()
+            .map(|e| (e.u as u32, e.v as u32, e.p.to_bits()))
+            .collect();
+        let mut terminals: Box<[u32]> = terminals.iter().map(|&t| t as u32).collect();
+        terminals.sort_unstable();
+        PlanKey {
+            edges,
+            terminals,
+            config,
+        }
+    }
+}
+
+/// Aggregate cache counters, serializable for the service's `stats` op.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct CacheStats {
+    /// Entries currently held.
+    pub entries: usize,
+    /// Maximum entries before eviction (0 disables the cache).
+    pub capacity: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh solve.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    result: S2BddResult,
+    last_used: u64,
+}
+
+/// LRU cache of part-level solver results.
+///
+/// Recency is tracked with a monotone tick stamped on every hit/insert;
+/// eviction scans for the minimum stamp. That is `O(len)` per eviction —
+/// deliberate: capacities are small (thousands), evictions only happen at
+/// capacity, and the scan avoids the unsafe code or extra indirection of an
+/// intrusive list.
+pub struct PlanCache {
+    capacity: usize,
+    map: HashMap<PlanKey, Entry, netrel_numeric::FxBuildHasher>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            map: HashMap::default(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a plan, bumping its recency. Counts a hit or a miss.
+    pub fn get(&mut self, key: &PlanKey) -> Option<S2BddResult> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a solved plan, evicting the least-recently-used entry if the
+    /// cache is full. Re-inserting an existing key refreshes its recency.
+    pub fn insert(&mut self, key: PlanKey, result: S2BddResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                result,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all entries (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(tag: u64) -> (UncertainGraph, Vec<VertexId>) {
+        // Distinct graphs per tag: a 2-path with a tag-dependent probability.
+        let p = 0.25 + (tag as f64) / 1000.0;
+        let g = UncertainGraph::new(3, [(0, 1, p), (1, 2, 0.5)]).unwrap();
+        (g, vec![0, 2])
+    }
+
+    fn key(tag: u64, cfg: S2BddConfig) -> PlanKey {
+        let (g, t) = part(tag);
+        PlanKey::new(&g, &t, cfg)
+    }
+
+    fn result(x: f64) -> S2BddResult {
+        S2BddResult {
+            estimate: x,
+            lower_bound: x,
+            upper_bound: x,
+            exact: true,
+            samples_requested: 0,
+            samples_used: (x * 1000.0) as usize,
+            s_prime_final: 0,
+            strata: 0,
+            deleted_nodes: 0,
+            variance_estimate: 0.0,
+            peak_width: 0,
+            peak_memory_bytes: 0,
+            layers_completed: 0,
+            layers_total: 0,
+            early_exit: false,
+            trajectory: None,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = PlanCache::new(8);
+        let k = key(1, S2BddConfig::default());
+        assert!(c.get(&k).is_none());
+        c.insert(k.clone(), result(0.5));
+        assert_eq!(c.get(&k).unwrap().estimate, 0.5);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        let cfg = S2BddConfig::default();
+        let (k1, k2, k3) = (key(1, cfg), key(2, cfg), key(3, cfg));
+        c.insert(k1.clone(), result(0.1));
+        c.insert(k2.clone(), result(0.2));
+        // Touch k1 so k2 becomes the LRU entry.
+        assert!(c.get(&k1).is_some());
+        c.insert(k3.clone(), result(0.3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&k2).is_none(), "k2 was LRU and must be evicted");
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_recency_not_insertion() {
+        let mut c = PlanCache::new(3);
+        let cfg = S2BddConfig::default();
+        let keys: Vec<PlanKey> = (0..3).map(|i| key(i, cfg)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            c.insert(k.clone(), result(i as f64 / 10.0));
+        }
+        // Refresh insertion-oldest entries; the middle one becomes LRU.
+        assert!(c.get(&keys[0]).is_some());
+        assert!(c.get(&keys[2]).is_some());
+        c.insert(key(9, cfg), result(0.9));
+        assert!(c.get(&keys[1]).is_none(), "recency order, not FIFO");
+        assert!(c.get(&keys[0]).is_some());
+    }
+
+    #[test]
+    fn config_change_never_aliases() {
+        let base = S2BddConfig::default();
+        let variants = [
+            S2BddConfig {
+                max_width: base.max_width + 1,
+                ..base
+            },
+            S2BddConfig {
+                samples: base.samples + 1,
+                ..base
+            },
+            S2BddConfig {
+                seed: base.seed ^ 1,
+                ..base
+            },
+            S2BddConfig {
+                estimator: netrel_s2bdd::EstimatorKind::HorvitzThompson,
+                ..base
+            },
+            S2BddConfig {
+                reduce_samples: !base.reduce_samples,
+                ..base
+            },
+            S2BddConfig {
+                record_trajectory: !base.record_trajectory,
+                ..base
+            },
+        ];
+        let mut c = PlanCache::new(64);
+        c.insert(key(1, base), result(0.5));
+        for v in variants {
+            assert_ne!(key(1, base), key(1, v), "{v:?} must change the key");
+            assert!(c.get(&key(1, v)).is_none(), "{v:?} aliased a cache entry");
+        }
+        // Same config, different part → different key too.
+        assert!(c.get(&key(2, base)).is_none());
+        // And the original still hits.
+        assert!(c.get(&key(1, base)).is_some());
+    }
+
+    #[test]
+    fn terminal_set_is_part_of_the_key() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)]).unwrap();
+        let cfg = S2BddConfig::default();
+        let a = PlanKey::new(&g, &[0, 3], cfg);
+        let b = PlanKey::new(&g, &[0, 2], cfg);
+        assert_ne!(a, b);
+        // Terminal order is canonicalized.
+        assert_eq!(a, PlanKey::new(&g, &[3, 0], cfg));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = PlanCache::new(0);
+        let k = key(1, S2BddConfig::default());
+        c.insert(k.clone(), result(0.5));
+        assert!(c.get(&k).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.stats().capacity, 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_evicting() {
+        let mut c = PlanCache::new(2);
+        let cfg = S2BddConfig::default();
+        let (k1, k2) = (key(1, cfg), key(2, cfg));
+        c.insert(k1.clone(), result(0.1));
+        c.insert(k2.clone(), result(0.2));
+        c.insert(k1.clone(), result(0.15));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&k1).unwrap().estimate, 0.15);
+        assert!(c.get(&k2).is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! A scoped worker pool for per-part solver jobs.
+//!
+//! Jobs across the whole batch are pulled from one shared counter, so a
+//! query with many parts and a query with one part interleave instead of
+//! serializing per query. Results are reassembled by job index, and every
+//! job's RNG seed is derived from its position in its query's decomposition
+//! (`part_s2bdd_config`), so the output is bit-identical no matter how many
+//! workers run or how the schedule lands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(0..n)` and return the results in index order. With `workers <= 1`
+/// (or fewer than two jobs) this is a plain sequential loop; otherwise
+/// `min(workers, n)` scoped threads pull job indices from a shared atomic
+/// counter. `f` must be deterministic per index for the parallel and
+/// sequential paths to agree (solver jobs are: their seeds come from the
+/// job, not the thread).
+pub(crate) fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_in_order() {
+        let f = |i: usize| i * i;
+        let seq = run_indexed(100, 1, f);
+        for workers in [2, 4, 7] {
+            assert_eq!(run_indexed(100, workers, f), seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,564 @@
+//! # netrel-engine — batched multi-query reliability
+//!
+//! The paper computes one `R[G, T]` per invocation; every real workload in
+//! the surrounding literature is *many queries against one uncertain graph*
+//! (s-t benchmark suites issue thousands of terminal pairs, reliability
+//! maximization re-evaluates `R` under small perturbations in an inner
+//! loop). This crate answers batches of [`ReliabilityQuery`] values against
+//! registered graphs through a three-stage pipeline:
+//!
+//! 1. **Shared preprocessing** — the terminal-independent structure
+//!    (bridges, 2ECC labelling, bridge forest: `netrel_preprocess::GraphIndex`)
+//!    is computed once at [`Engine::register`] time and reused by every
+//!    query; only the terminal-dependent Steiner/decompose/transform step
+//!    runs per query.
+//! 2. **Plan cache** — each decomposed part is keyed by its canonical
+//!    structure, terminal set, and full solver config ([`PlanKey`]); results
+//!    are LRU-cached so repeated and overlapping queries skip the S2BDD
+//!    solve entirely. Identical parts *within* one batch are also deduped
+//!    and solved once.
+//! 3. **Parallel executor** — remaining part jobs run on scoped worker
+//!    threads with deterministic seeds and deterministic reassembly:
+//!    answers are bit-identical to one-shot
+//!    [`pro_reliability`](netrel_core::pro_reliability), sequential or not.
+//!
+//! ```
+//! use netrel_engine::{Engine, EngineConfig, ReliabilityQuery};
+//! use netrel_ugraph::UncertainGraph;
+//!
+//! let g = UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.9), (3, 0, 0.7)]).unwrap();
+//! let mut engine = Engine::new(EngineConfig::default());
+//! let id = engine.register("demo", g);
+//! let answers = engine
+//!     .run_batch(id, &[ReliabilityQuery::new(vec![0, 2]), ReliabilityQuery::new(vec![1, 3])])
+//!     .unwrap();
+//! for a in answers {
+//!     let a = a.unwrap();
+//!     assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod executor;
+pub mod service;
+
+use netrel_core::{combine_part_results, part_s2bdd_config, zero_pro_result, ProConfig, ProResult};
+use netrel_preprocess::{preprocess_with_index, GraphIndex, Preprocessed};
+use netrel_s2bdd::{S2Bdd, S2BddResult};
+use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+
+/// Engine-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum entries in the part-level plan cache (0 disables caching).
+    pub plan_cache_capacity: usize,
+    /// Worker threads for part solving; `<= 1` solves sequentially. Results
+    /// are identical either way — only wall-clock changes.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            plan_cache_capacity: 4096,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Single-threaded configuration (deterministic wall-clock, e.g. for
+    /// fair benchmarking of the algorithmic savings alone).
+    pub fn sequential() -> Self {
+        EngineConfig {
+            workers: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// Handle to a registered graph (index into the engine's registry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GraphId(usize);
+
+/// One reliability query: a terminal set plus the full `Pro` configuration.
+#[derive(Clone, Debug)]
+pub struct ReliabilityQuery {
+    /// Terminal vertices (`R[G, T]` asks for all of them to connect).
+    pub terminals: Vec<VertexId>,
+    /// Solver configuration. `config.parallel_parts` is ignored: the engine
+    /// schedules parts across the whole batch itself.
+    pub config: ProConfig,
+}
+
+impl ReliabilityQuery {
+    /// A query with the default `Pro` configuration.
+    pub fn new(terminals: Vec<VertexId>) -> Self {
+        ReliabilityQuery {
+            terminals,
+            config: ProConfig::default(),
+        }
+    }
+
+    /// A query with an explicit configuration.
+    pub fn with_config(terminals: Vec<VertexId>, config: ProConfig) -> Self {
+        ReliabilityQuery { terminals, config }
+    }
+}
+
+/// Errors surfaced by the engine.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The [`GraphId`] or graph name is not registered.
+    UnknownGraph(String),
+    /// The underlying graph/solver rejected the query.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownGraph(name) => write!(f, "unknown graph `{name}`"),
+            EngineError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+/// Answer to one query — the fields of a `ProResult` plus cache telemetry,
+/// serializable for the JSON service.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QueryAnswer {
+    /// Estimated reliability `R̂[G, T]`.
+    pub estimate: f64,
+    /// Proven lower bound.
+    pub lower_bound: f64,
+    /// Proven upper bound.
+    pub upper_bound: f64,
+    /// The estimate is the exact reliability.
+    pub exact: bool,
+    /// Bridge-probability factor from decomposition.
+    pub pb: f64,
+    /// Total samples across all parts, cached or fresh (a cached part
+    /// reports the samples of its original solve, keeping this field equal
+    /// to the one-shot `ProResult`'s).
+    pub samples_used: usize,
+    /// Variance of the product estimator.
+    pub variance_estimate: f64,
+    /// Preprocessing statistics.
+    pub preprocess_stats: netrel_preprocess::PreprocessStats,
+    /// Per-part solver results, in part order (cached or fresh).
+    pub parts: Vec<S2BddResult>,
+    /// Parts of this query served from the plan cache.
+    pub cache_hits: usize,
+    /// Parts of this query that required a solve (or joined an identical
+    /// in-batch job).
+    pub cache_misses: usize,
+}
+
+impl QueryAnswer {
+    fn from_pro(r: ProResult, cache_hits: usize, cache_misses: usize) -> Self {
+        QueryAnswer {
+            estimate: r.estimate,
+            lower_bound: r.lower_bound,
+            upper_bound: r.upper_bound,
+            exact: r.exact,
+            pb: r.pb,
+            samples_used: r.samples_used,
+            variance_estimate: r.variance_estimate,
+            preprocess_stats: r.preprocess_stats,
+            parts: r.parts,
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+struct RegisteredGraph {
+    name: String,
+    graph: UncertainGraph,
+    index: GraphIndex,
+}
+
+/// The batched multi-query reliability engine. See the crate docs for the
+/// pipeline; [`Engine::run_batch`] is the main entry point.
+pub struct Engine {
+    cfg: EngineConfig,
+    graphs: Vec<RegisteredGraph>,
+    by_name: HashMap<String, usize>,
+    cache: Mutex<PlanCache>,
+}
+
+/// Where a query's part result comes from during batch assembly.
+enum PartSource {
+    Cached(S2BddResult),
+    Job(usize),
+}
+
+struct PreparedQuery {
+    pre: Preprocessed,
+    config: ProConfig,
+    /// One [`PlanKey`] per part, built outside the cache lock and reused
+    /// for the post-solve insert (the single key-derivation site).
+    keys: Vec<PlanKey>,
+    sources: Vec<PartSource>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+impl Engine {
+    /// A new engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            graphs: Vec::new(),
+            by_name: HashMap::new(),
+            cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+        }
+    }
+
+    /// Register a graph under `name`, computing its terminal-independent
+    /// [`GraphIndex`] once. Re-registering a name points it at the new
+    /// graph; previously returned ids stay valid for the old one.
+    pub fn register(&mut self, name: impl Into<String>, graph: UncertainGraph) -> GraphId {
+        let name = name.into();
+        let index = GraphIndex::build(&graph);
+        let id = self.graphs.len();
+        self.by_name.insert(name.clone(), id);
+        self.graphs.push(RegisteredGraph { name, graph, index });
+        GraphId(id)
+    }
+
+    /// Look up a registered graph by name.
+    pub fn graph_id(&self, name: &str) -> Option<GraphId> {
+        self.by_name.get(name).copied().map(GraphId)
+    }
+
+    /// The registered graph behind an id.
+    pub fn graph(&self, id: GraphId) -> Option<&UncertainGraph> {
+        self.graphs.get(id.0).map(|r| &r.graph)
+    }
+
+    /// Number of registered graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Answer one query (a one-element batch).
+    pub fn run(&self, id: GraphId, query: &ReliabilityQuery) -> Result<QueryAnswer, EngineError> {
+        self.run_batch(id, std::slice::from_ref(query))?
+            .pop()
+            .expect("one answer per query")
+    }
+
+    /// Answer a batch of queries against one registered graph.
+    ///
+    /// The outer `Result` fails only for an unknown [`GraphId`]; per-query
+    /// failures (e.g. out-of-range terminals) come back in their slot so one
+    /// bad query cannot poison a batch. Answers are bit-identical to calling
+    /// [`pro_reliability`](netrel_core::pro_reliability) per query with the
+    /// same configuration, independent of batch composition, cache state,
+    /// and worker count.
+    pub fn run_batch(
+        &self,
+        id: GraphId,
+        queries: &[ReliabilityQuery],
+    ) -> Result<Vec<Result<QueryAnswer, EngineError>>, EngineError> {
+        let rg = self
+            .graphs
+            .get(id.0)
+            .ok_or_else(|| EngineError::UnknownGraph(format!("#{}", id.0)))?;
+
+        // Stage 1: terminal-dependent preprocessing per query (the
+        // terminal-independent structure is shared via `rg.index`) and key
+        // construction, all outside the cache lock so concurrent batches
+        // only contend on the lookups themselves.
+        let mut prepared: Vec<Result<PreparedQuery, EngineError>> = queries
+            .iter()
+            .map(|q| {
+                let pre =
+                    preprocess_with_index(&rg.graph, &rg.index, &q.terminals, q.config.preprocess)?;
+                let keys = pre
+                    .parts
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, part)| {
+                        PlanKey::new(
+                            &part.graph,
+                            &part.terminals,
+                            part_s2bdd_config(q.config.s2bdd, pi),
+                        )
+                    })
+                    .collect();
+                Ok(PreparedQuery {
+                    pre,
+                    config: q.config,
+                    keys,
+                    sources: Vec::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                })
+            })
+            .collect();
+
+        // Plan-cache lookup and in-batch dedup per part, under the lock.
+        // Jobs hold `(query, part)` indices into `prepared`, so part graphs
+        // are borrowed, never cloned.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        let mut job_ids: HashMap<PlanKey, usize, netrel_numeric::FxBuildHasher> =
+            HashMap::default();
+        {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            for (qi, prep) in prepared.iter_mut().enumerate() {
+                let Ok(prep) = prep.as_mut() else { continue };
+                let mut sources = Vec::with_capacity(prep.keys.len());
+                for (pi, key) in prep.keys.iter().enumerate() {
+                    if let Some(hit) = cache.get(key) {
+                        prep.cache_hits += 1;
+                        sources.push(PartSource::Cached(hit));
+                    } else {
+                        prep.cache_misses += 1;
+                        let job = *job_ids.entry(key.clone()).or_insert_with(|| {
+                            jobs.push((qi, pi));
+                            jobs.len() - 1
+                        });
+                        sources.push(PartSource::Job(job));
+                    }
+                }
+                prep.sources = sources;
+            }
+        } // release the cache lock before solving
+
+        // Stage 2: solve the deduped jobs on the worker pool. Seeds derive
+        // from each job's part index, so results do not depend on scheduling.
+        let solved: Vec<Result<S2BddResult, GraphError>> =
+            executor::run_indexed(jobs.len(), self.cfg.workers, |j| {
+                let (qi, pi) = jobs[j];
+                let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
+                let part = &prep.pre.parts[pi];
+                S2Bdd::solve(
+                    &part.graph,
+                    &part.terminals,
+                    part_s2bdd_config(prep.config.s2bdd, pi),
+                )
+            });
+
+        // Stage 3: publish fresh results to the cache (in job order, for a
+        // deterministic eviction sequence), then assemble per-query answers
+        // with the exact recombination `pro_reliability` uses.
+        {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            for (j, result) in solved.iter().enumerate() {
+                if let Ok(r) = result {
+                    let (qi, pi) = jobs[j];
+                    let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
+                    cache.insert(prep.keys[pi].clone(), r.clone());
+                }
+            }
+        }
+
+        let answers = prepared
+            .into_iter()
+            .map(|prep| {
+                let prep = prep?;
+                if prep.pre.trivially_zero {
+                    return Ok(QueryAnswer::from_pro(
+                        zero_pro_result(prep.pre.stats),
+                        prep.cache_hits,
+                        prep.cache_misses,
+                    ));
+                }
+                let mut parts = Vec::with_capacity(prep.sources.len());
+                for source in prep.sources {
+                    match source {
+                        PartSource::Cached(r) => parts.push(r),
+                        PartSource::Job(j) => parts.push(solved[j].clone()?),
+                    }
+                }
+                Ok(QueryAnswer::from_pro(
+                    combine_part_results(prep.pre.pb, prep.pre.stats, parts),
+                    prep.cache_hits,
+                    prep.cache_misses,
+                ))
+            })
+            .collect();
+        Ok(answers)
+    }
+
+    /// Snapshot of the plan cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    /// Drop all cached plans (counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Names of the registered graphs, in registration order.
+    pub fn graph_names(&self) -> impl Iterator<Item = &str> {
+        self.graphs.iter().map(|r| r.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrel_core::pro_reliability;
+    use netrel_s2bdd::S2BddConfig;
+
+    fn lollipop() -> UncertainGraph {
+        UncertainGraph::new(
+            8,
+            [
+                (0, 1, 0.5),
+                (1, 2, 0.6),
+                (0, 2, 0.7),
+                (2, 3, 0.8),
+                (3, 4, 0.5),
+                (4, 5, 0.6),
+                (3, 5, 0.7),
+                (5, 6, 0.9),
+                (6, 7, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sampling_cfg(seed: u64) -> ProConfig {
+        ProConfig {
+            s2bdd: S2BddConfig {
+                max_width: 2,
+                samples: 400,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_oneshot_bitwise() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        let queries: Vec<ReliabilityQuery> = [vec![0, 4], vec![0, 7], vec![1, 4, 6], vec![0, 4]]
+            .into_iter()
+            .map(|t| ReliabilityQuery::with_config(t, sampling_cfg(11)))
+            .collect();
+        let answers = engine.run_batch(id, &queries).unwrap();
+        for (q, a) in queries.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            let solo = pro_reliability(&g, &q.terminals, q.config).unwrap();
+            assert_eq!(a.estimate.to_bits(), solo.estimate.to_bits());
+            assert_eq!(a.lower_bound.to_bits(), solo.lower_bound.to_bits());
+            assert_eq!(a.upper_bound.to_bits(), solo.upper_bound.to_bits());
+            assert_eq!(a.samples_used, solo.samples_used);
+            assert_eq!(a.exact, solo.exact);
+        }
+        // Within one batch the duplicate 4th query joins the first query's
+        // jobs (counted as misses — nothing was in the cache yet). A second
+        // identical batch is then served entirely from the cache.
+        let again = engine.run_batch(id, &queries).unwrap();
+        for (first, second) in answers.iter().zip(&again) {
+            let (first, second) = (first.as_ref().unwrap(), second.as_ref().unwrap());
+            assert_eq!(second.cache_misses, 0);
+            assert_eq!(second.cache_hits, first.cache_hits + first.cache_misses);
+            assert_eq!(first.estimate.to_bits(), second.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn repeated_batches_hit_the_cache() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::sequential());
+        let id = engine.register("lollipop", g);
+        let q = [ReliabilityQuery::with_config(vec![0, 7], sampling_cfg(3))];
+        let a1 = engine.run_batch(id, &q).unwrap().remove(0).unwrap();
+        let a2 = engine.run_batch(id, &q).unwrap().remove(0).unwrap();
+        assert!(a1.cache_misses > 0);
+        assert_eq!(a2.cache_misses, 0);
+        assert_eq!(a2.cache_hits, a1.cache_hits + a1.cache_misses);
+        assert_eq!(a1.estimate.to_bits(), a2.estimate.to_bits());
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 1 && stats.misses >= 1);
+    }
+
+    #[test]
+    fn per_query_errors_do_not_poison_the_batch() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g);
+        let queries = [
+            ReliabilityQuery::new(vec![0, 4]),
+            ReliabilityQuery::new(vec![0, 99]), // out of range
+            ReliabilityQuery::new(vec![]),      // empty
+            ReliabilityQuery::new(vec![0, 7]),
+        ];
+        let answers = engine.run_batch(id, &queries).unwrap();
+        assert!(answers[0].is_ok());
+        assert!(matches!(answers[1], Err(EngineError::Graph(_))));
+        assert!(matches!(answers[2], Err(EngineError::Graph(_))));
+        assert!(answers[3].is_ok());
+    }
+
+    #[test]
+    fn unknown_graph_is_an_outer_error() {
+        let engine = Engine::new(EngineConfig::default());
+        let bogus = GraphId(7);
+        assert!(matches!(
+            engine.run_batch(bogus, &[]),
+            Err(EngineError::UnknownGraph(_))
+        ));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let g = lollipop();
+        let queries: Vec<ReliabilityQuery> = [vec![0, 7], vec![1, 4, 6], vec![0, 4]]
+            .into_iter()
+            .map(|t| ReliabilityQuery::with_config(t, sampling_cfg(5)))
+            .collect();
+        let mut seq = Engine::new(EngineConfig {
+            workers: 1,
+            plan_cache_capacity: 0,
+        });
+        let sid = seq.register("g", g.clone());
+        let mut par = Engine::new(EngineConfig {
+            workers: 8,
+            plan_cache_capacity: 0,
+        });
+        let pid = par.register("g", g);
+        let a = seq.run_batch(sid, &queries).unwrap();
+        let b = par.run_batch(pid, &queries).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.estimate.to_bits(), y.estimate.to_bits());
+            assert_eq!(x.samples_used, y.samples_used);
+        }
+    }
+
+    #[test]
+    fn disconnected_terminals_answer_exact_zero() {
+        let g = UncertainGraph::new(4, [(0, 1, 0.9), (2, 3, 0.9)]).unwrap();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("disc", g);
+        let a = engine.run(id, &ReliabilityQuery::new(vec![0, 2])).unwrap();
+        assert_eq!(a.estimate, 0.0);
+        assert!(a.exact);
+    }
+}

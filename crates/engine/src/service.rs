@@ -1,0 +1,433 @@
+//! Newline-delimited JSON protocol over the engine.
+//!
+//! One request object per line in, one response object per line out — the
+//! transport-agnostic core of the `netrel-serve` binary (`netrel-bench`),
+//! which pipes stdin/stdout through [`Service::handle_line`]. Keeping the
+//! protocol here makes it unit-testable without spawning a process.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"register","name":"g","vertices":8,"edges":[[0,1,0.5],[1,2,0.9]]}
+//! {"op":"query","graph":"g","terminals":[0,2],"samples":5000,"seed":7}
+//! {"op":"batch","graph":"g","queries":[{"terminals":[0,2]},{"terminals":[1,2],"seed":9}]}
+//! {"op":"stats"}
+//! ```
+//!
+//! Per-query solver knobs (all optional, defaulting to the paper's
+//! configuration): `width`, `samples`, `seed`, `estimator` (`"mc"`/`"ht"`),
+//! and `exact` (unbounded width, no sampling). In a `batch`, knobs given at
+//! the top level act as defaults for every query; a knob set on the query
+//! object itself always wins over the batch default.
+//!
+//! ## Responses
+//!
+//! Every response carries `"ok"`; failures carry `"error"` instead of a
+//! payload. A `batch` response holds one `{ok, answer|error}` object per
+//! query in request order, so one bad query cannot poison a batch.
+
+use crate::{Engine, EngineError, QueryAnswer, ReliabilityQuery};
+use netrel_core::ProConfig;
+use netrel_s2bdd::{EstimatorKind, S2BddConfig};
+use netrel_ugraph::UncertainGraph;
+use serde::{Serialize, Value};
+
+/// Stateful NDJSON request handler wrapping an [`Engine`].
+pub struct Service {
+    engine: Engine,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(Engine::new(crate::EngineConfig::default()))
+    }
+}
+
+impl Service {
+    /// Wrap an engine (possibly with pre-registered graphs).
+    pub fn new(engine: Engine) -> Self {
+        Service { engine }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handle one request line, returning one response line (no trailing
+    /// newline). Never panics on malformed input — parse and protocol
+    /// errors come back as `{"ok":false,"error":...}` responses.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        let response = match serde_json::from_str::<Value>(line) {
+            Ok(request) => self.dispatch(&request).unwrap_or_else(err_response),
+            Err(e) => err_response(format!("invalid JSON: {e}")),
+        };
+        serde_json::to_string(&response).expect("response rendering cannot fail")
+    }
+
+    fn dispatch(&mut self, request: &Value) -> Result<Value, String> {
+        match str_field(request, "op")? {
+            "register" => self.op_register(request),
+            "query" => self.op_query(request),
+            "batch" => self.op_batch(request),
+            "stats" => Ok(self.op_stats()),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    fn op_register(&mut self, request: &Value) -> Result<Value, String> {
+        let name = str_field(request, "name")?;
+        let vertices = u64_field(request, "vertices")? as usize;
+        let edges = match request.get("edges") {
+            Some(Value::Seq(items)) => items
+                .iter()
+                .map(edge_triple)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("`edges` must be an array of [u, v, p] triples".into()),
+            None => return Err("missing field `edges`".into()),
+        };
+        let graph = UncertainGraph::new(vertices, edges).map_err(|e| e.to_string())?;
+        let (nv, ne) = (graph.num_vertices(), graph.num_edges());
+        self.engine.register(name, graph);
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("register".into())),
+            ("graph".into(), Value::Str(name.into())),
+            ("vertices".into(), Value::U64(nv as u64)),
+            ("edges".into(), Value::U64(ne as u64)),
+        ]))
+    }
+
+    fn op_query(&mut self, request: &Value) -> Result<Value, String> {
+        let id = self.graph_field(request)?;
+        let query = parse_query(request, request)?;
+        let answer = self
+            .engine
+            .run(id, &query)
+            .map_err(|e: EngineError| e.to_string())?;
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("query".into())),
+            ("answer".into(), answer.to_value()),
+        ]))
+    }
+
+    fn op_batch(&mut self, request: &Value) -> Result<Value, String> {
+        let id = self.graph_field(request)?;
+        let items = match request.get("queries") {
+            Some(Value::Seq(items)) => items,
+            Some(_) => return Err("`queries` must be an array".into()),
+            None => return Err("missing field `queries`".into()),
+        };
+        let queries = items
+            .iter()
+            .map(|item| parse_query(item, request))
+            .collect::<Result<Vec<_>, _>>()?;
+        let answers = self
+            .engine
+            .run_batch(id, &queries)
+            .map_err(|e| e.to_string())?;
+        let rendered: Vec<Value> = answers.into_iter().map(answer_slot).collect();
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("batch".into())),
+            ("answers".into(), Value::Seq(rendered)),
+        ]))
+    }
+
+    fn op_stats(&self) -> Value {
+        let graphs: Vec<Value> = self
+            .engine
+            .graph_names()
+            .map(|n| Value::Str(n.into()))
+            .collect();
+        Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("stats".into())),
+            ("graphs".into(), Value::Seq(graphs)),
+            ("cache".into(), self.engine.cache_stats().to_value()),
+        ])
+    }
+
+    fn graph_field(&self, request: &Value) -> Result<crate::GraphId, String> {
+        let name = str_field(request, "graph")?;
+        self.engine
+            .graph_id(name)
+            .ok_or_else(|| format!("unknown graph `{name}`"))
+    }
+}
+
+fn err_response(message: impl Into<String>) -> Value {
+    Value::Map(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(message.into())),
+    ])
+}
+
+fn answer_slot(result: Result<QueryAnswer, EngineError>) -> Value {
+    match result {
+        Ok(answer) => Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("answer".into(), answer.to_value()),
+        ]),
+        Err(e) => err_response(e.to_string()),
+    }
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    match v.get(key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("field `{key}` must be a string")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Ok(*n),
+        Some(Value::I64(n)) if *n >= 0 => Ok(*n as u64),
+        Some(_) => Err(format!("field `{key}` must be a non-negative integer")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Optional non-negative integer field of one request object.
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Ok(Some(*n)),
+        Some(Value::I64(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(Value::Null) | None => Ok(None),
+        Some(_) => Err(format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+/// Apply one layer of solver knobs (`exact`, `width`, `samples`, `seed`,
+/// `estimator`) from a request object onto `s2bdd`. `exact` is expanded
+/// first so explicit knobs in the same layer refine it.
+fn apply_knobs(v: &Value, s2bdd: &mut S2BddConfig) -> Result<(), String> {
+    match v.get("exact") {
+        Some(Value::Bool(true)) => {
+            s2bdd.max_width = usize::MAX;
+            s2bdd.samples = 0;
+        }
+        Some(Value::Bool(false)) => {
+            let d = S2BddConfig::default();
+            s2bdd.max_width = d.max_width;
+            s2bdd.samples = d.samples;
+        }
+        Some(_) => return Err("field `exact` must be a boolean".into()),
+        None => {}
+    }
+    if let Some(w) = opt_u64(v, "width")? {
+        s2bdd.max_width = w as usize;
+    }
+    if let Some(s) = opt_u64(v, "samples")? {
+        s2bdd.samples = s as usize;
+    }
+    if let Some(seed) = opt_u64(v, "seed")? {
+        s2bdd.seed = seed;
+    }
+    match v.get("estimator") {
+        Some(Value::Str(kind)) => {
+            s2bdd.estimator = match kind.as_str() {
+                "mc" | "monte-carlo" => EstimatorKind::MonteCarlo,
+                "ht" | "horvitz-thompson" => EstimatorKind::HorvitzThompson,
+                other => {
+                    return Err(format!(
+                        "unknown estimator `{other}` (use \"mc\" or \"ht\")"
+                    ))
+                }
+            };
+        }
+        Some(_) => return Err("field `estimator` must be a string".into()),
+        None => {}
+    }
+    Ok(())
+}
+
+fn edge_triple(item: &Value) -> Result<(usize, usize, f64), String> {
+    let bad = || "`edges` entries must be [u, v, p] triples".to_string();
+    match item {
+        Value::Seq(t) if t.len() == 3 => {
+            let vertex = |x: &Value| match x {
+                Value::U64(n) => Ok(*n as usize),
+                Value::I64(n) if *n >= 0 => Ok(*n as usize),
+                _ => Err(bad()),
+            };
+            let p = match &t[2] {
+                Value::F64(p) => *p,
+                Value::U64(n) => *n as f64,
+                Value::I64(n) => *n as f64,
+                _ => return Err(bad()),
+            };
+            Ok((vertex(&t[0])?, vertex(&t[1])?, p))
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Parse one query object; `defaults` (the enclosing request, for `batch`)
+/// supplies fallback solver knobs.
+fn parse_query(item: &Value, defaults: &Value) -> Result<ReliabilityQuery, String> {
+    let terminals = match item.get("terminals") {
+        Some(Value::Seq(ts)) => ts
+            .iter()
+            .map(|t| match t {
+                Value::U64(n) => Ok(*n as usize),
+                Value::I64(n) if *n >= 0 => Ok(*n as usize),
+                _ => Err("`terminals` must be non-negative integers".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("`terminals` must be an array".into()),
+        None => return Err("missing field `terminals`".into()),
+    };
+
+    // Layered knob resolution: the batch-level defaults apply first, then
+    // the per-query object — so an explicit per-query setting always beats
+    // a batch default (including `exact`, which expands to width/samples
+    // before that same layer's explicit width/samples are applied).
+    let mut s2bdd = S2BddConfig::default();
+    for layer in [defaults, item] {
+        apply_knobs(layer, &mut s2bdd)?;
+    }
+
+    Ok(ReliabilityQuery::with_config(
+        terminals,
+        ProConfig {
+            s2bdd,
+            ..Default::default()
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service_with_graph() -> Service {
+        let mut s = Service::default();
+        let response = s.handle_line(
+            r#"{"op":"register","name":"g","vertices":4,
+                "edges":[[0,1,0.9],[1,2,0.8],[2,3,0.9],[3,0,0.7]]}"#,
+        );
+        assert!(response.contains(r#""ok":true"#), "{response}");
+        s
+    }
+
+    fn parse(response: &str) -> Value {
+        serde_json::from_str(response).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn register_then_query() {
+        let mut s = service_with_graph();
+        let response =
+            s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"exact":true}"#);
+        let v = parse(&response);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let answer = v.get("answer").expect("answer present");
+        assert_eq!(answer.get("exact"), Some(&Value::Bool(true)));
+        let estimate = match answer.get("estimate") {
+            Some(Value::F64(x)) => *x,
+            other => panic!("estimate missing: {other:?}"),
+        };
+        assert!((0.0..=1.0).contains(&estimate));
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_errors() {
+        let mut s = service_with_graph();
+        let response = s.handle_line(
+            r#"{"op":"batch","graph":"g","samples":100,"queries":
+                [{"terminals":[0,2]},{"terminals":[0,99]},{"terminals":[1,3]}]}"#,
+        );
+        let v = parse(&response);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let answers = match v.get("answers") {
+            Some(Value::Seq(a)) => a,
+            other => panic!("answers missing: {other:?}"),
+        };
+        assert_eq!(answers.len(), 3);
+        assert_eq!(answers[0].get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(answers[1].get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(answers[2].get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn stats_reports_cache_counters() {
+        let mut s = service_with_graph();
+        s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"samples":50}"#);
+        s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"samples":50}"#);
+        let v = parse(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let cache = v.get("cache").expect("cache stats present");
+        assert!(matches!(cache.get("hits"), Some(Value::U64(h)) if *h >= 1));
+        assert_eq!(
+            v.get("graphs"),
+            Some(&Value::Seq(vec![Value::Str("g".into())]))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_report_errors_not_panics() {
+        let mut s = service_with_graph();
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"query","graph":"missing","terminals":[0,1]}"#,
+            r#"{"op":"query","graph":"g"}"#,
+            r#"{"op":"query","graph":"g","terminals":"x"}"#,
+            r#"{"op":"register","name":"h","vertices":2,"edges":[[0,1,7.5]]}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,1],"estimator":"bogus"}"#,
+        ] {
+            let v = parse(&s.handle_line(bad));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
+            assert!(matches!(v.get("error"), Some(Value::Str(_))));
+        }
+    }
+
+    #[test]
+    fn per_query_exact_beats_batch_width_default() {
+        let mut s = service_with_graph();
+        // Three terminals: the transform rules cannot collapse the cycle to
+        // a single edge, so the width-1 default genuinely approximates.
+        let response = s.handle_line(
+            r#"{"op":"batch","graph":"g","width":1,"samples":50,"queries":
+                [{"terminals":[0,1,2],"exact":true},{"terminals":[0,1,2]}]}"#,
+        );
+        let v = parse(&response);
+        let answers = match v.get("answers") {
+            Some(Value::Seq(a)) => a,
+            other => panic!("answers missing: {other:?}"),
+        };
+        let exact = |a: &Value| a.get("answer").and_then(|ans| ans.get("exact")).cloned();
+        // The first query explicitly asked for an exact answer; the batch
+        // width default must not demote it to an approximation.
+        assert_eq!(exact(&answers[0]), Some(Value::Bool(true)));
+        // The second inherits the width-1 default and stays approximate.
+        assert_eq!(exact(&answers[1]), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn per_query_knobs_override_batch_defaults() {
+        let mut s = service_with_graph();
+        let response = s.handle_line(
+            r#"{"op":"batch","graph":"g","samples":10,"queries":
+                [{"terminals":[0,2],"samples":99},{"terminals":[0,2]}]}"#,
+        );
+        let v = parse(&response);
+        let answers = match v.get("answers") {
+            Some(Value::Seq(a)) => a,
+            other => panic!("answers missing: {other:?}"),
+        };
+        let requested = |a: &Value| match a.get("answer").and_then(|ans| ans.get("parts")) {
+            Some(Value::Seq(parts)) if !parts.is_empty() => {
+                parts[0].get("samples_requested").cloned()
+            }
+            _ => None,
+        };
+        assert_eq!(requested(&answers[0]), Some(Value::U64(99)));
+        assert_eq!(requested(&answers[1]), Some(Value::U64(10)));
+    }
+}

@@ -6,9 +6,8 @@
 //! probabilities, the `G_i` are the bridge-free components, and `T_i` adds
 //! the bridge endpoints to each side's terminals.
 
-use netrel_ugraph::bridges::cut_structure;
+use crate::shared::GraphIndex;
 use netrel_ugraph::steiner::steiner_subtree;
-use netrel_ugraph::twoecc::{two_edge_connected_components, BridgeForest};
 use netrel_ugraph::{Dsu, UncertainGraph, VertexId};
 
 /// One decomposed component with its terminal set.
@@ -39,10 +38,19 @@ pub struct Decomposed {
 /// phase correct whether or not [`crate::prune`] ran first. Terminals must
 /// all lie in one connected component of `g`.
 pub fn decompose(g: &UncertainGraph, terminals: &[VertexId]) -> Decomposed {
-    let cut = cut_structure(g);
-    let ecc = two_edge_connected_components(g, &cut);
-    let forest = BridgeForest::build(g, &cut, &ecc, terminals);
-    let st = steiner_subtree(&forest.adj, &forest.node_terminal);
+    decompose_with_index(g, &GraphIndex::build(g), terminals)
+}
+
+/// [`decompose`] against a precomputed terminal-independent [`GraphIndex`]
+/// of `g`; results are identical, only the shared structure passes are
+/// skipped.
+pub fn decompose_with_index(
+    g: &UncertainGraph,
+    index: &GraphIndex,
+    terminals: &[VertexId],
+) -> Decomposed {
+    let node_terminal = index.terminal_marks(terminals);
+    let st = steiner_subtree(&index.forest_adj, &node_terminal);
     // `steiner_subtree` reports kept forest edges by their labels, which
     // `BridgeForest` sets to the original bridge edge ids.
     let relevant_bridges: Vec<usize> = st.keep_edge.clone();

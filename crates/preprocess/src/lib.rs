@@ -18,6 +18,14 @@
 //!
 //! The whole pipeline preserves the exact reliability; the property tests
 //! check `brute_force(G) = p_b · Π brute_force(G_i)` on random graphs.
+//!
+//! The pipeline is split into a **terminal-independent** phase
+//! ([`GraphIndex`]: bridges, 2ECC labelling, contracted bridge forest —
+//! computed once per graph) and a **terminal-dependent** phase
+//! ([`preprocess_with_index`]: Steiner pruning, decomposition, transform —
+//! run per query). [`preprocess`] composes the two for one-shot use;
+//! multi-query engines (see the `netrel-engine` crate) hold the index and
+//! amortize the structure passes across thousands of terminal sets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +33,10 @@
 pub mod decompose;
 pub mod pipeline;
 pub mod prune;
+pub mod shared;
 pub mod transform;
 
-pub use pipeline::{preprocess, Part, PreprocessConfig, PreprocessStats, Preprocessed};
+pub use pipeline::{
+    preprocess, preprocess_with_index, Part, PreprocessConfig, PreprocessStats, Preprocessed,
+};
+pub use shared::GraphIndex;

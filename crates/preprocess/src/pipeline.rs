@@ -1,8 +1,9 @@
 //! The full preprocessing pipeline (paper Algorithm 3):
 //! prune → decompose → transform, with per-phase toggles for ablation.
 
-use crate::decompose::decompose;
-use crate::prune::prune;
+use crate::decompose::{decompose, decompose_with_index};
+use crate::prune::prune_with_index;
+use crate::shared::GraphIndex;
 use crate::transform::transform;
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 
@@ -53,6 +54,7 @@ pub struct Part {
 
 /// Size/shape statistics of a preprocessing run (paper Table 5 columns).
 #[derive(Clone, Copy, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct PreprocessStats {
     /// Edges in the input graph.
     pub original_edges: usize,
@@ -84,8 +86,26 @@ pub struct Preprocessed {
 }
 
 /// Run the extension technique on `(g, terminals)`.
+///
+/// Convenience wrapper that computes the terminal-independent
+/// [`GraphIndex`] on the spot. Multi-query workloads should build the index
+/// once per graph and call [`preprocess_with_index`], which skips the
+/// `O(|V| + |E|)` structure passes and runs only the terminal-dependent
+/// Steiner / subgraph / transform steps.
 pub fn preprocess(
     g: &UncertainGraph,
+    terminals: &[VertexId],
+    cfg: PreprocessConfig,
+) -> Result<Preprocessed, GraphError> {
+    preprocess_with_index(g, &GraphIndex::build(g), terminals, cfg)
+}
+
+/// [`preprocess`] against a precomputed terminal-independent [`GraphIndex`]
+/// of `g`. Output is identical to [`preprocess`] for every configuration —
+/// the index only replaces recomputation of terminal-independent structure.
+pub fn preprocess_with_index(
+    g: &UncertainGraph,
+    index: &GraphIndex,
     terminals: &[VertexId],
     cfg: PreprocessConfig,
 ) -> Result<Preprocessed, GraphError> {
@@ -105,9 +125,10 @@ pub fn preprocess(
         });
     }
 
-    // Phase 1: prune.
+    // Phase 1: prune (terminal-dependent Steiner step over the shared
+    // index's bridge forest).
     let (work_graph, work_terminals) = if cfg.prune {
-        let p = prune(g, &t);
+        let p = prune_with_index(g, index, &t);
         if p.trivially_zero {
             return Ok(Preprocessed {
                 pb: 0.0,
@@ -133,9 +154,17 @@ pub fn preprocess(
         });
     }
 
-    // Phase 2: decompose.
+    // Phase 2: decompose. After pruning the working graph is a different
+    // (smaller, renumbered) graph, so the shared index no longer applies and
+    // the structure passes rerun on the residual graph — usually a tiny
+    // fraction of the original. Without pruning the working graph *is* the
+    // input graph and the index is reused directly.
     let (pb, raw_parts) = if cfg.decompose {
-        let d = decompose(&work_graph, &work_terminals);
+        let d = if cfg.prune {
+            decompose(&work_graph, &work_terminals)
+        } else {
+            decompose_with_index(&work_graph, index, &work_terminals)
+        };
         (
             d.pb,
             d.parts
@@ -284,6 +313,39 @@ mod tests {
         for cfg in [PreprocessConfig::default(), PreprocessConfig::disabled()] {
             let pre = preprocess(&g, &[0, 2], cfg).unwrap();
             assert!(pre.trivially_zero, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn with_index_identical_to_oneshot_for_every_phase_mix() {
+        let g = lollipop();
+        let idx = GraphIndex::build(&g);
+        for t in [vec![0, 4], vec![0, 7], vec![1, 4, 6], vec![3]] {
+            for cfg in [
+                PreprocessConfig::default(),
+                PreprocessConfig {
+                    prune: false,
+                    ..Default::default()
+                },
+                PreprocessConfig {
+                    decompose: false,
+                    ..Default::default()
+                },
+                PreprocessConfig::disabled(),
+            ] {
+                let a = preprocess(&g, &t, cfg).unwrap();
+                let b = preprocess_with_index(&g, &idx, &t, cfg).unwrap();
+                assert_eq!(a.pb.to_bits(), b.pb.to_bits(), "{t:?} {cfg:?}");
+                assert_eq!(a.trivially_zero, b.trivially_zero);
+                assert_eq!(a.parts.len(), b.parts.len());
+                for (pa, pb_) in a.parts.iter().zip(&b.parts) {
+                    assert_eq!(pa.terminals, pb_.terminals);
+                    assert_eq!(pa.graph.edges(), pb_.graph.edges());
+                }
+                assert_eq!(a.stats.num_parts, b.stats.num_parts);
+                assert_eq!(a.stats.max_part_edges, b.stats.max_part_edges);
+                assert_eq!(a.stats.transform_rules, b.stats.transform_rules);
+            }
         }
     }
 

@@ -6,9 +6,8 @@
 //! terminal-to-terminal path can use, so everything else is discarded
 //! without changing `R[G, T]` (paper §5, Prune).
 
-use netrel_ugraph::bridges::cut_structure;
+use crate::shared::GraphIndex;
 use netrel_ugraph::steiner::steiner_subtree;
-use netrel_ugraph::twoecc::{two_edge_connected_components, BridgeForest};
 use netrel_ugraph::{UncertainGraph, VertexId};
 
 /// Result of the prune phase.
@@ -26,26 +25,36 @@ pub struct Pruned {
 }
 
 /// Run the prune phase. `terminals` must be valid for `g`.
+///
+/// Convenience wrapper that builds the [`GraphIndex`] on the spot; workloads
+/// issuing many terminal sets against one graph should build the index once
+/// and call [`prune_with_index`].
 pub fn prune(g: &UncertainGraph, terminals: &[VertexId]) -> Pruned {
-    let cut = cut_structure(g);
-    let ecc = two_edge_connected_components(g, &cut);
-    let forest = BridgeForest::build(g, &cut, &ecc, terminals);
+    prune_with_index(g, &GraphIndex::build(g), terminals)
+}
+
+/// Run the prune phase against a precomputed terminal-independent
+/// [`GraphIndex`] of `g`. Only the `O(#components)` Steiner step and the
+/// subgraph extraction are done here; results are identical to [`prune`].
+pub fn prune_with_index(g: &UncertainGraph, index: &GraphIndex, terminals: &[VertexId]) -> Pruned {
+    let num_nodes = index.num_forest_nodes();
+    let node_terminal = index.terminal_marks(terminals);
 
     // Steiner subtree over the contracted forest.
-    let st = steiner_subtree(&forest.adj, &forest.node_terminal);
+    let st = steiner_subtree(&index.forest_adj, &node_terminal);
 
     // Terminals in different trees stay in disjoint kept islands; detect by
     // checking that the kept terminal super-vertices form one connected
     // subtree (walk from one of them across kept forest edges).
-    let kept_terminal_nodes: Vec<usize> = (0..forest.num_nodes)
-        .filter(|&c| st.keep_node[c] && forest.node_terminal[c])
+    let kept_terminal_nodes: Vec<usize> = (0..num_nodes)
+        .filter(|&c| st.keep_node[c] && node_terminal[c])
         .collect();
     let trivially_zero = if let Some(&start) = kept_terminal_nodes.first() {
-        let mut seen = vec![false; forest.num_nodes];
+        let mut seen = vec![false; num_nodes];
         let mut stack = vec![start];
         seen[start] = true;
         while let Some(v) = stack.pop() {
-            for &(w, _) in &forest.adj[v] {
+            for &(w, _) in &index.forest_adj[v] {
                 if st.keep_node[w] && !seen[w] {
                     seen[w] = true;
                     stack.push(w);
@@ -62,7 +71,7 @@ pub fn prune(g: &UncertainGraph, terminals: &[VertexId]) -> Pruned {
     // iff both endpoint components are kept (within a kept component all
     // edges stay; a bridge between two kept components lies on the subtree).
     let keep: Vec<bool> = (0..g.num_vertices())
-        .map(|v| st.keep_node[ecc.comp[v]])
+        .map(|v| st.keep_node[index.ecc.comp[v]])
         .collect();
     let (graph, vertex_map) = g.induced_subgraph(&keep);
     let terminals: Vec<VertexId> = terminals
@@ -156,5 +165,19 @@ mod tests {
         let p = prune(&g, &[6]);
         assert!(!p.trivially_zero);
         assert_eq!(p.terminals.len(), 1);
+    }
+
+    #[test]
+    fn shared_index_reproduces_prune() {
+        let g = lollipop();
+        let idx = GraphIndex::build(&g);
+        for t in [vec![0, 4], vec![1, 5], vec![0, 1, 2], vec![7, 0], vec![6]] {
+            let a = prune(&g, &t);
+            let b = prune_with_index(&g, &idx, &t);
+            assert_eq!(a.trivially_zero, b.trivially_zero);
+            assert_eq!(a.vertex_map, b.vertex_map);
+            assert_eq!(a.terminals, b.terminals);
+            assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        }
     }
 }

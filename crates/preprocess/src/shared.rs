@@ -1,0 +1,119 @@
+//! Terminal-independent preprocessing structure, shared across queries.
+//!
+//! The prune and decompose phases both start from the same facts about the
+//! *graph alone*: which edges are bridges, the 2-edge-connected-component
+//! labelling, and the contracted bridge forest those induce. None of that
+//! depends on the terminal set — only the Steiner subtree taken over the
+//! forest does. [`GraphIndex`] captures the terminal-independent part once so
+//! a multi-query workload (thousands of terminal sets against one graph) can
+//! amortize the `O(|V| + |E|)` structure passes and pay only the
+//! terminal-dependent `O(#components)` work per query.
+
+use netrel_ugraph::bridges::{cut_structure, CutStructure};
+use netrel_ugraph::twoecc::{two_edge_connected_components, TwoEcc};
+use netrel_ugraph::{EdgeId, UncertainGraph, VertexId};
+
+/// Terminal-independent preprocessing structure of one uncertain graph.
+///
+/// Build it once per graph with [`GraphIndex::build`], then answer any number
+/// of terminal sets through [`crate::preprocess_with_index`] (or the
+/// lower-level [`crate::prune::prune_with_index`] /
+/// [`crate::decompose::decompose_with_index`]). The index borrows nothing:
+/// it can be stored next to the graph for the lifetime of a service.
+#[derive(Clone, Debug)]
+pub struct GraphIndex {
+    /// Bridges and articulation points of the graph.
+    pub cut: CutStructure,
+    /// 2-edge-connected-component labelling.
+    pub ecc: TwoEcc,
+    /// Adjacency of the contracted bridge forest: for each super vertex
+    /// (2ECC), `(neighbor super vertex, bridge edge id)` pairs. This is the
+    /// terminal-independent half of `BridgeForest`; the per-query half is
+    /// just marking which super vertices contain terminals.
+    pub forest_adj: Vec<Vec<(usize, EdgeId)>>,
+}
+
+impl GraphIndex {
+    /// Compute the shared structure of `g` in `O(|V| + |E|)`.
+    pub fn build(g: &UncertainGraph) -> Self {
+        let cut = cut_structure(g);
+        let ecc = two_edge_connected_components(g, &cut);
+        let mut forest_adj = vec![Vec::new(); ecc.num_comps];
+        for &eid in &cut.bridge_ids {
+            let e = g.edge(eid);
+            let (a, b) = (ecc.comp[e.u], ecc.comp[e.v]);
+            debug_assert_ne!(a, b, "a bridge cannot be internal to a 2ECC");
+            forest_adj[a].push((b, eid));
+            forest_adj[b].push((a, eid));
+        }
+        GraphIndex {
+            cut,
+            ecc,
+            forest_adj,
+        }
+    }
+
+    /// Number of super vertices (2ECCs) in the bridge forest.
+    #[inline]
+    pub fn num_forest_nodes(&self) -> usize {
+        self.ecc.num_comps
+    }
+
+    /// The per-query half of the bridge forest: mark which super vertices
+    /// contain at least one of `terminals`.
+    pub fn terminal_marks(&self, terminals: &[VertexId]) -> Vec<bool> {
+        let mut node_terminal = vec![false; self.ecc.num_comps];
+        for &t in terminals {
+            node_terminal[self.ecc.comp[t]] = true;
+        }
+        node_terminal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrel_ugraph::twoecc::BridgeForest;
+
+    /// Triangle {0,1,2} — bridge — triangle {3,4,5} — pendant 5-6-7.
+    fn lollipop() -> UncertainGraph {
+        UncertainGraph::new(
+            8,
+            [
+                (0, 1, 0.5),
+                (1, 2, 0.6),
+                (0, 2, 0.7),
+                (2, 3, 0.8),
+                (3, 4, 0.5),
+                (4, 5, 0.6),
+                (3, 5, 0.7),
+                (5, 6, 0.9),
+                (6, 7, 0.9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_matches_bridge_forest() {
+        let g = lollipop();
+        let idx = GraphIndex::build(&g);
+        for terminals in [vec![0, 4], vec![0, 7], vec![1, 4, 6]] {
+            let forest = BridgeForest::build(&g, &idx.cut, &idx.ecc, &terminals);
+            assert_eq!(forest.num_nodes, idx.num_forest_nodes());
+            assert_eq!(forest.adj, idx.forest_adj);
+            assert_eq!(forest.node_terminal, idx.terminal_marks(&terminals));
+        }
+    }
+
+    #[test]
+    fn index_is_terminal_free() {
+        // Building the index never looks at terminals: two builds agree.
+        let g = lollipop();
+        let a = GraphIndex::build(&g);
+        let b = GraphIndex::build(&g);
+        assert_eq!(a.forest_adj, b.forest_adj);
+        assert_eq!(a.ecc.comp, b.ecc.comp);
+        assert_eq!(a.cut.bridge_ids, b.cut.bridge_ids);
+    }
+}

@@ -4,7 +4,7 @@ use netrel_bdd::frontier::MergeRule;
 use netrel_ugraph::ordering::EdgeOrder;
 
 /// Which estimator aggregates the stratified samples (paper §4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum EstimatorKind {
     /// Monte Carlo estimator (sample mean of the connectivity indicator).
     #[default]
@@ -16,7 +16,11 @@ pub enum EstimatorKind {
 }
 
 /// S2BDD solver configuration.
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` cover every field (there are no floats), so a configuration
+/// can key a plan cache: two configs differing in any knob — width, samples,
+/// estimator, order, merge rule, seed, reduction, trajectory — never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct S2BddConfig {
     /// Maximum number of nodes kept per layer (the paper's `w`).
     /// `usize::MAX` disables deletion, making the solver exact.

@@ -2,6 +2,7 @@
 
 /// Outcome of one S2BDD run.
 #[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct S2BddResult {
     /// Approximate (or exact) network reliability `R̂[G, T]`, always within
     /// `[lower_bound, upper_bound]`.

@@ -9,7 +9,7 @@
 use crate::graph::{EdgeId, UncertainGraph, VertexId};
 
 /// Edge processing order strategies.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum EdgeOrder {
     /// Edge-id (insertion) order.
     Input,

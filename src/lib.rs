@@ -29,6 +29,7 @@
 //! | [`s2bdd`] | the paper's S2BDD solver |
 //! | [`preprocessing`] | prune / decompose / transform |
 //! | [`solvers`] | `Sampling(MC/HT)`, `Pro`, exact |
+//! | [`engine`] | batched multi-query engine: shared preprocessing, plan cache, JSON service |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +37,7 @@
 pub use netrel_bdd as bdd;
 pub use netrel_core as solvers;
 pub use netrel_datasets as datasets;
+pub use netrel_engine as engine;
 pub use netrel_numeric as numeric;
 pub use netrel_preprocess as preprocessing;
 pub use netrel_s2bdd as s2bdd;
@@ -45,5 +47,6 @@ pub use netrel_ugraph as graph;
 pub mod prelude {
     pub use netrel_core::prelude::*;
     pub use netrel_datasets::{Dataset, ProbModel};
+    pub use netrel_engine::{Engine, EngineConfig, QueryAnswer, ReliabilityQuery};
     pub use netrel_ugraph::{GraphStats, UncertainGraph};
 }

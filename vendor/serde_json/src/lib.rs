@@ -1,18 +1,25 @@
 //! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
-//! tree as JSON text. Only the serialization direction is provided — that is
-//! all the workspace uses (dumping benchmark rows with `--json=`).
+//! tree as JSON text and parses JSON text back into a [`Value`] tree (and,
+//! through the shim's `Deserialize`, into typed values). The workspace uses
+//! the render direction for benchmark-row dumping (`--json=`) and both
+//! directions for the `netrel-serve` newline-delimited JSON query service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 pub use serde::Value;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// Error type kept for API compatibility; rendering a [`Value`] tree cannot
-/// actually fail.
+/// Serialization or parse error.
 #[derive(Clone, Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(msg: impl Into<String>, pos: usize) -> Self {
+        Error(format!("{} at byte {pos}", msg.into()))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -21,6 +28,250 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Parse a JSON document into a typed value via the shim's `Deserialize`.
+/// (`T = Value` yields the raw tree, matching upstream `serde_json`.)
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    T::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Nesting depth bound for the recursive-descent parser (matches upstream
+/// serde_json's default recursion limit).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{kw}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse("recursion limit exceeded", self.pos));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(depth),
+            Some(b'{') => self.map(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error::parse(
+                format!("unexpected character `{}`", c as char),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn seq(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn map(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a low surrogate.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::parse("invalid low surrogate", self.pos));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?,
+                            );
+                            continue; // hex4 advanced past the escape
+                        }
+                        _ => return Err(Error::parse("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid; control characters are tolerated on input).
+                    // Decode from a <= 4-byte window — validating the whole
+                    // remaining input per character would make long string
+                    // literals quadratic. The window may clip the *next*
+                    // scalar, so fall back to the valid prefix.
+                    let window = &self.bytes[self.pos..self.bytes.len().min(self.pos + 4)];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).expect("valid prefix")
+                        }
+                        Err(_) => return Err(Error::parse("invalid utf-8", self.pos)),
+                    };
+                    let c = valid.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
 
 /// Serialize `value` as a compact JSON string.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
@@ -185,12 +436,99 @@ mod tests {
         );
     }
 
-    /// `Value` itself does not implement `Serialize`; wrap it for tests.
+    /// Historic wrapper from before `Value: Serialize`; kept so the tests
+    /// also cover serialization through a user impl.
     struct Wrapper(Value);
 
     impl Serialize for Wrapper {
         fn to_value(&self) -> Value {
             self.0.clone()
         }
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::U64(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str::<Value>("2.5e1").unwrap(), Value::F64(25.0));
+        assert_eq!(
+            from_str::<Value>(r#""a\nbé""#).unwrap(),
+            Value::Str("a\nbé".into())
+        );
+    }
+
+    #[test]
+    fn parses_containers() {
+        let v = from_str::<Value>(r#"{"op":"query","t":[0,3],"p":0.5}"#).unwrap();
+        assert_eq!(v.get("op"), Some(&Value::Str("query".into())));
+        assert_eq!(
+            v.get("t"),
+            Some(&Value::Seq(vec![Value::U64(0), Value::U64(3)]))
+        );
+        assert_eq!(v.get("p"), Some(&Value::F64(0.5)));
+        assert_eq!(from_str::<Value>("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(from_str::<Value>("{}").unwrap(), Value::Map(vec![]));
+    }
+
+    #[test]
+    fn parses_typed_values() {
+        let xs: Vec<(usize, usize, f64)> = from_str("[[0,1,0.5],[1,2,0.25]]").unwrap();
+        assert_eq!(xs, vec![(0, 1, 0.5), (1, 2, 0.25)]);
+        let n: f64 = from_str("3").unwrap();
+        assert_eq!(n, 3.0);
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U64(3)),
+            ("neg".into(), Value::I64(-1)),
+            (
+                "xs".into(),
+                Value::Seq(vec![Value::F64(0.5), Value::Null, Value::Bool(false)]),
+            ),
+            ("s".into(), Value::Str("a\"\\\n\tb".into())),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"unterminated",
+            "[1]]",
+            "{\"a\":1,}x",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            from_str::<Value>(r#""🦀""#).unwrap(),
+            Value::Str("🦀".into())
+        );
+        assert!(from_str::<Value>(r#""\ud83e""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str::<Value>(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(from_str::<Value>(&ok).is_ok());
     }
 }
