@@ -15,7 +15,7 @@
 //! * [`dot`]: Graphviz export of small materialized BDDs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod brute;
 pub mod dot;

@@ -2,9 +2,9 @@
 //!
 //! Reads one JSON request per line on stdin, writes one JSON response per
 //! line on stdout (blank lines are skipped; diagnostics go to stderr). The
-//! protocol lives in `netrel_engine::service`; this binary is only the
-//! stdin/stdout pump, so the same engine can later sit behind any other
-//! transport.
+//! protocol lives in `netrel_engine::service` and is documented with
+//! examples in `docs/protocol.md`; this binary is only the stdin/stdout
+//! pump, so the same engine can later sit behind any other transport.
 //!
 //! ```text
 //! $ netrel-serve <<'EOF'
@@ -28,7 +28,9 @@ fn main() {
             cache = v.parse().expect("--cache takes an integer (entries)");
         } else if arg == "--help" || arg == "-h" {
             eprintln!("usage: netrel-serve [--workers=N] [--cache=ENTRIES]");
-            eprintln!("NDJSON protocol: see `netrel_engine::service` docs.");
+            eprintln!("NDJSON protocol: register/query/batch/stats, planner budgets, CI fields —");
+            eprintln!("documented in docs/protocol.md (netcat/curl examples included) and the");
+            eprintln!("`netrel_engine::service` rustdoc.");
             return;
         } else {
             eprintln!("warning: unknown argument {arg:?} ignored");

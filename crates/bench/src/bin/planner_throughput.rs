@@ -1,0 +1,156 @@
+//! Adaptive-planner baseline: dense-graph batches the exact path cannot
+//! finish under the node cap, completed through the planner with
+//! CI-carrying answers, plus the planner's overhead on sparse workloads
+//! where it must pick the exact route.
+//!
+//! Writes `BENCH_planner.json` (override with `--json=`) so future PRs have
+//! a trajectory to compare against. An answer counts as **completed** when
+//! it is exact or its 95% CI is narrower than 0.5 — the capped exact-only
+//! path on a dense graph returns a `[~0, ~1]` envelope and fails that bar.
+
+use netrel_bench::{fmt_secs, maybe_dump_json, parse_args, time};
+use netrel_datasets::{clique, Dataset};
+use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery, ReliabilityQuery, Route};
+use netrel_s2bdd::S2BddConfig;
+use netrel_ugraph::UncertainGraph;
+use serde::Serialize;
+
+#[derive(Clone, Debug, Serialize)]
+struct Row {
+    workload: String,
+    vertices: usize,
+    edges: usize,
+    queries: usize,
+    exact_only_secs: f64,
+    exact_only_completed: usize,
+    planner_secs: f64,
+    planner_completed: usize,
+    planner_qps: f64,
+    routes_exact: usize,
+    routes_bounded: usize,
+    routes_sampling: usize,
+    mean_ci_width: f64,
+}
+
+fn informative(exact: bool, ci_width: f64) -> bool {
+    exact || ci_width < 0.5
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.json.is_none() {
+        args.json = Some("BENCH_planner.json".into());
+    }
+    let budget = PlanBudget::default();
+
+    let tokyo = Dataset::Tokyo.generate(args.scale, args.seed);
+    let tokyo_pairs = netrel_bench::overlapping_terminal_pairs(&tokyo, 10, args.seed);
+    let workloads: Vec<(String, UncertainGraph, Vec<Vec<usize>>)> = vec![
+        (
+            "clique55-dense".into(),
+            clique(55),
+            (0..20).map(|i| vec![i % 20, 30 + (i * 7) % 25]).collect(),
+        ),
+        ("tokyo-sparse".into(), tokyo, tokyo_pairs),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:>7} {:>9} {:>9} {:>7} {:>7} {:>9} {:>22}",
+        "workload", "queries", "exact", "planner", "ex done", "pl done", "qps", "routes (e/b/s)"
+    );
+    for (workload, g, terminal_sets) in workloads {
+        let n_queries = terminal_sets.len();
+        let mut engine = Engine::new(EngineConfig::sequential());
+        let id = engine.register(workload.clone(), g.clone());
+
+        // Exact-only under the same node cap the planner gets.
+        let exact_queries: Vec<ReliabilityQuery> = terminal_sets
+            .iter()
+            .map(|t| {
+                ReliabilityQuery::with_config(
+                    t.clone(),
+                    netrel_core::ProConfig {
+                        s2bdd: S2BddConfig {
+                            node_cap: budget.node_budget,
+                            seed: args.seed,
+                            ..S2BddConfig::exact()
+                        },
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let (exact_answers, exact_only_secs) =
+            time(|| engine.run_batch(id, &exact_queries).unwrap());
+        let exact_only_completed = exact_answers
+            .iter()
+            .filter(|a| {
+                let a = a.as_ref().unwrap();
+                informative(a.exact, a.upper_bound - a.lower_bound)
+            })
+            .count();
+
+        // The planner, fresh cache, same budget.
+        engine.clear_cache();
+        let planned: Vec<PlannedQuery> = terminal_sets
+            .iter()
+            .map(|t| PlannedQuery::new(t.clone(), budget))
+            .collect();
+        let (answers, planner_secs) = time(|| engine.run_planned_batch(id, &planned).unwrap());
+
+        let (mut done, mut ci_sum) = (0usize, 0.0f64);
+        let (mut re, mut rb, mut rs) = (0usize, 0usize, 0usize);
+        for a in &answers {
+            let a = a.as_ref().unwrap();
+            if informative(a.exact, a.ci.width()) {
+                done += 1;
+            }
+            ci_sum += a.ci.width();
+            for r in &a.routes {
+                match r {
+                    Route::Exact => re += 1,
+                    Route::Bounded => rb += 1,
+                    Route::Sampling => rs += 1,
+                }
+            }
+        }
+
+        let row = Row {
+            workload: workload.clone(),
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            queries: n_queries,
+            exact_only_secs,
+            exact_only_completed,
+            planner_secs,
+            planner_completed: done,
+            planner_qps: n_queries as f64 / planner_secs,
+            routes_exact: re,
+            routes_bounded: rb,
+            routes_sampling: rs,
+            mean_ci_width: ci_sum / n_queries as f64,
+        };
+        println!(
+            "{:<16} {:>7} {:>9} {:>9} {:>4}/{:<2} {:>4}/{:<2} {:>9.1} {:>10}/{}/{}",
+            row.workload,
+            row.queries,
+            fmt_secs(row.exact_only_secs),
+            fmt_secs(row.planner_secs),
+            row.exact_only_completed,
+            row.queries,
+            row.planner_completed,
+            row.queries,
+            row.planner_qps,
+            row.routes_exact,
+            row.routes_bounded,
+            row.routes_sampling,
+        );
+        assert_eq!(
+            row.planner_completed, row.queries,
+            "the planner must complete every query"
+        );
+        rows.push(row);
+    }
+    maybe_dump_json(&args, &rows);
+}

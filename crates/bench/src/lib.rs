@@ -10,6 +10,7 @@
 //! * `--json=<path>` — also dump machine-readable rows.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod accuracy;
 

@@ -26,7 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod exact;
 pub mod pro;
@@ -37,7 +37,9 @@ pub use pro::{
     combine_part_results, part_s2bdd_config, pro_reliability, pro_reliability_with_index,
     st_reliability, zero_pro_result, ProConfig, ProResult,
 };
-pub use sampling::{sample_reliability, SamplingConfig, SamplingResult};
+pub use sampling::{
+    sample_part_result, sample_reliability, SamplingConfig, SamplingResult, RNG_STREAMS,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {

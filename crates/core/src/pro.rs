@@ -142,6 +142,19 @@ pub fn combine_part_results(
 }
 
 /// Run the paper's approach on `(g, terminals)`.
+///
+/// ```
+/// use netrel_core::{pro_reliability, ProConfig};
+/// use netrel_ugraph::UncertainGraph;
+///
+/// // A 4-cycle: R[{0,2}] = both 2-edge paths fail only together.
+/// let g = UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9), (3, 0, 0.9)]).unwrap();
+/// let r = pro_reliability(&g, &[0, 2], ProConfig::default()).unwrap();
+/// assert!(r.exact, "small graphs fit under the default width");
+/// let truth = 1.0 - (1.0 - 0.81f64) * (1.0 - 0.81);
+/// assert!((r.estimate - truth).abs() < 1e-12);
+/// assert!(r.lower_bound <= r.estimate && r.estimate <= r.upper_bound);
+/// ```
 pub fn pro_reliability(
     g: &UncertainGraph,
     terminals: &[VertexId],

@@ -5,22 +5,53 @@
 //! mean or the Horvitz–Thompson estimator over distinct worlds. Sampling is
 //! embarrassingly parallel; `threads = 1` by default so benchmark comparisons
 //! against the (single-threaded) S2BDD stay apples-to-apples.
+//!
+//! Results are **seed-stable**: the sample budget is partitioned over a
+//! fixed set of [`RNG_STREAMS`] logical RNG streams, and worker threads only
+//! execute streams — so the draws (and therefore `hits`, `estimate`, and the
+//! variance) depend on `(samples, estimator, seed)` alone, never on how many
+//! cores `threads = 0` detects at runtime.
 
 use netrel_s2bdd::EstimatorKind;
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId, WorldSampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Number of logical RNG streams the sample budget is partitioned over.
+///
+/// Each stream `i` draws its fixed share of the budget from its own
+/// deterministic RNG (`seed ⊕ i·golden`), independent of which worker thread
+/// executes it. The constant bounds the useful parallelism but pins the
+/// draw sequence: changing the detected core count can never change the
+/// result.
+pub const RNG_STREAMS: usize = 64;
+
 /// Configuration for the flat sampler.
+///
+/// ```
+/// use netrel_core::{sample_reliability, SamplingConfig};
+/// use netrel_ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::new(3, [(0, 1, 0.9), (1, 2, 0.8), (0, 2, 0.5)]).unwrap();
+/// let cfg = SamplingConfig { samples: 20_000, seed: 42, ..Default::default() };
+/// let r = sample_reliability(&g, &[0, 2], cfg).unwrap();
+/// // 0-2 connects directly (0.5) or via 1 (0.72): R = 0.86.
+/// assert!((r.estimate - 0.86).abs() < 0.02);
+/// // Same seed, any thread count: identical draws.
+/// let par = sample_reliability(&g, &[0, 2], SamplingConfig { threads: 0, ..cfg }).unwrap();
+/// assert_eq!(r.hits, par.hits);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SamplingConfig {
     /// Number of possible worlds to draw.
     pub samples: usize,
     /// Estimator.
     pub estimator: EstimatorKind,
-    /// RNG seed (deterministic results for a fixed seed and thread count).
+    /// RNG seed. For a fixed `(samples, estimator, seed)` the result is
+    /// identical for every `threads` setting (see [`RNG_STREAMS`]).
     pub seed: u64,
-    /// Worker threads; `0` = all available cores, `1` = sequential (default).
+    /// Worker threads; `0` = all available cores, `1` = sequential
+    /// (default). Only wall-clock changes with this knob, never the result.
     pub threads: usize,
 }
 
@@ -64,6 +95,14 @@ pub fn sample_reliability(
             variance_estimate: 0.0,
         });
     }
+    // Fixed logical partition: stream `i` always draws `stream_share(i)`
+    // samples from its own RNG, no matter which thread runs it. Worker
+    // threads pick up streams round-robin, so the draw sequence — and the
+    // result — is a pure function of `(samples, estimator, seed)`.
+    let streams = RNG_STREAMS.min(cfg.samples.max(1));
+    let stream_share = |i: usize| cfg.samples * (i + 1) / streams - cfg.samples * i / streams;
+    let stream_rng =
+        |i: usize| StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let threads = match cfg.threads {
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -71,32 +110,20 @@ pub fn sample_reliability(
         n => n,
     }
     .max(1)
-    .min(cfg.samples.max(1));
-
-    // Per-chunk sample counts (difference of prefix shares: sums to `samples`).
-    let chunk_of = |i: usize| cfg.samples * (i + 1) / threads - cfg.samples * i / threads;
+    .min(streams);
 
     match cfg.estimator {
         EstimatorKind::MonteCarlo => {
-            let hits: usize = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for i in 0..threads {
-                    let t = &t;
-                    handles.push(scope.spawn(move || {
-                        let mut sampler = WorldSampler::new(g.num_vertices());
-                        let mut rng = StdRng::seed_from_u64(
-                            cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                        );
-                        (0..chunk_of(i))
-                            .filter(|_| sampler.sample_connected(g, t, &mut rng))
-                            .count()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sampler thread panicked"))
-                    .sum()
-            });
+            let t = &t;
+            let hits: usize = run_streams(streams, threads, |i| {
+                let mut sampler = WorldSampler::new(g.num_vertices());
+                let mut rng = stream_rng(i);
+                (0..stream_share(i))
+                    .filter(|_| sampler.sample_connected(g, t, &mut rng))
+                    .count()
+            })
+            .into_iter()
+            .sum();
             let s = cfg.samples.max(1) as f64;
             let estimate = hits as f64 / s;
             Ok(SamplingResult {
@@ -107,25 +134,17 @@ pub fn sample_reliability(
             })
         }
         EstimatorKind::HorvitzThompson => {
-            let records: Vec<(bool, f64, u64)> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for i in 0..threads {
-                    let t = &t;
-                    handles.push(scope.spawn(move || {
-                        let mut sampler = WorldSampler::new(g.num_vertices());
-                        let mut rng = StdRng::seed_from_u64(
-                            cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                        );
-                        (0..chunk_of(i))
-                            .map(|_| sampler.sample_world_full(g, t, &mut rng))
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("sampler thread panicked"))
-                    .collect()
-            });
+            let t = &t;
+            let records: Vec<(bool, f64, u64)> = run_streams(streams, threads, |i| {
+                let mut sampler = WorldSampler::new(g.num_vertices());
+                let mut rng = stream_rng(i);
+                (0..stream_share(i))
+                    .map(|_| sampler.sample_world_full(g, t, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             let s = cfg.samples.max(1) as f64;
             let hits = records.iter().filter(|r| r.0).count();
             let mut seen = std::collections::HashSet::new();
@@ -150,6 +169,79 @@ pub fn sample_reliability(
             })
         }
     }
+}
+
+/// Execute `per_stream` for every logical stream index in `0..streams` on
+/// `threads` scoped workers (round-robin assignment), returning the outputs
+/// in stream order. Because `per_stream(i)` is a pure function of `i` (its
+/// RNG is derived from the stream index), the output is independent of the
+/// worker count.
+fn run_streams<T, F>(streams: usize, threads: usize, per_stream: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 {
+        return (0..streams).map(per_stream).collect();
+    }
+    let mut outs: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let per_stream = &per_stream;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    (w..streams)
+                        .step_by(threads)
+                        .map(|i| (i, per_stream(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sampler thread panicked"))
+            .collect()
+    });
+    outs.sort_unstable_by_key(|&(i, _)| i);
+    outs.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Flat-sample one decomposed *part* and shape the outcome as an
+/// [`S2BddResult`](netrel_s2bdd::S2BddResult), so sampling-routed parts
+/// compose with exactly-solved ones through
+/// [`combine_part_results`](crate::combine_part_results).
+///
+/// Flat sampling proves nothing, so the part's *proven* bounds are the
+/// trivial `[0, 1]` and `exact` is `false`; the statistical quality lives in
+/// `variance_estimate` (`R̂(1−R̂)/s` for MC, the paper's Eq. 8 for HT), which
+/// the product-variance composition in `combine_part_results` — and any
+/// confidence interval built from it — consumes. Used by the engine's
+/// adaptive planner for parts whose predicted diagram size exceeds the node
+/// budget.
+pub fn sample_part_result(
+    g: &UncertainGraph,
+    terminals: &[VertexId],
+    cfg: SamplingConfig,
+) -> Result<netrel_s2bdd::S2BddResult, GraphError> {
+    let r = sample_reliability(g, terminals, cfg)?;
+    Ok(netrel_s2bdd::S2BddResult {
+        estimate: r.estimate,
+        lower_bound: 0.0,
+        upper_bound: 1.0,
+        exact: false,
+        samples_requested: cfg.samples,
+        samples_used: r.samples,
+        s_prime_final: cfg.samples,
+        strata: 1,
+        deleted_nodes: 0,
+        variance_estimate: r.variance_estimate,
+        peak_width: 0,
+        peak_memory_bytes: 0,
+        layers_completed: 0,
+        layers_total: g.num_edges(),
+        early_exit: false,
+        node_cap_hit: false,
+        trajectory: None,
+    })
 }
 
 /// Horvitz–Thompson weight `q / π` with `π = 1 − (1 − q)^s`, computed stably.
@@ -225,19 +317,67 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_determinism() {
+    fn thread_count_never_changes_the_draws() {
+        // The documented contract: `threads` (including `0` = auto-detect)
+        // affects wall-clock only. Streams are pinned to the seed, so every
+        // thread setting must reproduce the same hits and the same bits.
         let (g, t) = bridge_graph();
-        let base = SamplingConfig {
-            samples: 10_000,
-            seed: 7,
+        for estimator in [EstimatorKind::MonteCarlo, EstimatorKind::HorvitzThompson] {
+            let base = SamplingConfig {
+                samples: 10_000,
+                seed: 7,
+                estimator,
+                threads: 1,
+            };
+            let a = sample_reliability(&g, &t, base).unwrap();
+            for threads in [0, 2, 3, 5, 64, 1000] {
+                let b = sample_reliability(&g, &t, SamplingConfig { threads, ..base }).unwrap();
+                assert_eq!(a.hits, b.hits, "{estimator:?} threads={threads}");
+                assert_eq!(
+                    a.estimate.to_bits(),
+                    b.estimate.to_bits(),
+                    "{estimator:?} threads={threads}"
+                );
+                assert_eq!(a.variance_estimate.to_bits(), b.variance_estimate.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sample_counts_still_seed_stable() {
+        // Fewer samples than RNG_STREAMS: the partition collapses to one
+        // stream per sample and stays thread-invariant.
+        let (g, t) = bridge_graph();
+        for samples in [1, 2, 63] {
+            let base = SamplingConfig {
+                samples,
+                seed: 11,
+                ..Default::default()
+            };
+            let a = sample_reliability(&g, &t, base).unwrap();
+            let b = sample_reliability(&g, &t, SamplingConfig { threads: 0, ..base }).unwrap();
+            assert_eq!(a.hits, b.hits, "samples={samples}");
+        }
+    }
+
+    #[test]
+    fn part_result_composes_through_combine() {
+        let (g, t) = bridge_graph();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = SamplingConfig {
+            samples: 100_000,
+            seed: 3,
             ..Default::default()
         };
-        let a = sample_reliability(&g, &t, base).unwrap();
-        let b = sample_reliability(&g, &t, base).unwrap();
-        assert_eq!(a.hits, b.hits, "same seed, same thread count → same draw");
-        let par = sample_reliability(&g, &t, SamplingConfig { threads: 4, ..base }).unwrap();
-        // Different thread count changes the stream but not the quality.
-        assert!((par.estimate - a.estimate).abs() < 0.05);
+        let part = sample_part_result(&g, &t, cfg).unwrap();
+        assert!(!part.exact);
+        assert_eq!((part.lower_bound, part.upper_bound), (0.0, 1.0));
+        assert!(part.variance_estimate > 0.0);
+        // One sampled part recombines into a Pro-shaped answer.
+        let combined = crate::combine_part_results(1.0, Default::default(), vec![part]);
+        assert!((combined.estimate - exact).abs() < 0.01);
+        assert!(!combined.exact);
+        assert!(combined.variance_estimate > 0.0);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Deterministic dense fixtures shared by tests and benchmarks.
+//!
+//! Cliques are the canonical "exact path cannot finish" workload for the
+//! engine's adaptive planner: maximal frontier width, no bridges for the
+//! extension technique to exploit. Keeping the builders here (rather than
+//! copied into every test/bench) pins one shape for the dense fixture
+//! across the workspace.
+
+use netrel_ugraph::UncertainGraph;
+
+/// Complete graph on `n` vertices with per-edge probabilities spread
+/// deterministically over `[0.4, 0.6)` (`p = 0.4 + ((31u + v) mod 20)/100`),
+/// so parts derived from different terminal pairs stay structurally
+/// distinct in cache keys.
+pub fn clique(n: usize) -> UncertainGraph {
+    complete(n, |u, v| 0.4 + ((u * 31 + v) % 20) as f64 / 100.0)
+}
+
+/// Complete graph on `n` vertices with uniform edge probability `p`.
+pub fn clique_uniform(n: usize, p: f64) -> UncertainGraph {
+    complete(n, |_, _| p)
+}
+
+fn complete(n: usize, p: impl Fn(usize, usize) -> f64) -> UncertainGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v, p(u, v)));
+        }
+    }
+    UncertainGraph::new(n, edges).expect("clique probabilities are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_shape_and_determinism() {
+        let g = clique(10);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 45);
+        let again = clique(10);
+        assert_eq!(g.edges(), again.edges());
+        for e in g.edges() {
+            assert!((0.4..0.6).contains(&e.p));
+        }
+    }
+
+    #[test]
+    fn uniform_clique_probability() {
+        let g = clique_uniform(6, 0.95);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.edges().iter().all(|e| e.p == 0.95));
+    }
+}

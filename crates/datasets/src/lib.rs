@@ -12,13 +12,15 @@
 //! density). See `DESIGN.md` §6 for the substitution rationale.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod fixtures;
 pub mod gen;
 pub mod io;
 pub mod karate;
 pub mod prob;
 pub mod registry;
 
+pub use fixtures::{clique, clique_uniform};
 pub use prob::ProbModel;
 pub use registry::{Dataset, DatasetSpec};

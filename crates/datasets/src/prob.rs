@@ -18,7 +18,7 @@ pub enum ProbModel {
     },
     /// The paper's weight model `p = log(α + 1) / log(α_M + 2)` where `α` is
     /// the edge weight (co-author count, road length, …) and `α_M` the maximum
-    /// weight in the dataset (paper §7.1, after [6]).
+    /// weight in the dataset (paper §7.1, after \[6\]).
     LogWeight,
     /// The same model with a *nominal* maximum weight instead of the realized
     /// one. Scaled-down synthetic datasets under-sample the weight tail, which

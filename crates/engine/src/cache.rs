@@ -10,17 +10,21 @@
 //!
 //! Keys are **full structural keys**, not hashes: the part's edge list
 //! (endpoints + probability bits), its terminal set, and the complete
-//! [`S2BddConfig`] (including the per-part derived seed). Two subproblems
-//! alias only if every one of those is identical — in which case the solver
-//! is deterministic and the cached result *is* the result. A config change
-//! (width, samples, seed, estimator, order, merge rule, …) always changes
-//! the key.
+//! solver discriminant — a [`PartSolver`] naming the solver family *and*
+//! its full configuration (for S2BDD runs the complete [`S2BddConfig`],
+//! per-part seed included; for flat sampling the sample count, estimator,
+//! and seed). Two subproblems alias only if every one of those is
+//! identical — in which case the solver is deterministic and the cached
+//! result *is* the result. A config change (width, samples, seed,
+//! estimator, order, merge rule, node cap, …) always changes the key, and
+//! a planner-routed sampling run can never alias an S2BDD run.
 
+use crate::planner::PartSolver;
 use netrel_s2bdd::{S2BddConfig, S2BddResult};
 use netrel_ugraph::{UncertainGraph, VertexId};
 use std::collections::HashMap;
 
-/// Canonical identity of one part-level S2BDD solve.
+/// Canonical identity of one part-level solve.
 ///
 /// Parts come out of preprocessing densely renumbered in a deterministic
 /// order, so structurally identical subproblems produce identical keys no
@@ -31,13 +35,20 @@ pub struct PlanKey {
     edges: Box<[(u32, u32, u64)]>,
     /// Sorted terminal ids within the part.
     terminals: Box<[u32]>,
-    /// The exact solver configuration, per-part seed included.
-    config: S2BddConfig,
+    /// The solver-family discriminant plus its exact configuration.
+    solver: PartSolver,
 }
 
 impl PlanKey {
-    /// Build the key for solving `(graph, terminals)` under `config`.
+    /// Build the key for one S2BDD solve of `(graph, terminals)` under
+    /// `config` (the classic, non-planned engine path).
     pub fn new(graph: &UncertainGraph, terminals: &[VertexId], config: S2BddConfig) -> Self {
+        Self::for_solver(graph, terminals, PartSolver::S2Bdd(config))
+    }
+
+    /// Build the key for solving `(graph, terminals)` with an arbitrary
+    /// routed [`PartSolver`].
+    pub fn for_solver(graph: &UncertainGraph, terminals: &[VertexId], solver: PartSolver) -> Self {
         let edges: Box<[(u32, u32, u64)]> = graph
             .edges()
             .iter()
@@ -48,7 +59,7 @@ impl PlanKey {
         PlanKey {
             edges,
             terminals,
-            config,
+            solver,
         }
     }
 }
@@ -206,6 +217,7 @@ mod tests {
             layers_completed: 0,
             layers_total: 0,
             early_exit: false,
+            node_cap_hit: false,
             trajectory: None,
         }
     }
@@ -279,6 +291,10 @@ mod tests {
                 ..base
             },
             S2BddConfig {
+                node_cap: base.node_cap - 1,
+                ..base
+            },
+            S2BddConfig {
                 record_trajectory: !base.record_trajectory,
                 ..base
             },
@@ -293,6 +309,28 @@ mod tests {
         assert!(c.get(&key(2, base)).is_none());
         // And the original still hits.
         assert!(c.get(&key(1, base)).is_some());
+    }
+
+    #[test]
+    fn solver_family_is_part_of_the_key() {
+        // A planner-routed flat-sampling run must never alias an S2BDD run
+        // on the same part, even with matching samples/estimator/seed.
+        let (g, t) = part(1);
+        let cfg = S2BddConfig::default();
+        let s2bdd_key = PlanKey::new(&g, &t, cfg);
+        let sampling_key = PlanKey::for_solver(
+            &g,
+            &t,
+            PartSolver::Sampling {
+                samples: cfg.samples,
+                estimator: cfg.estimator,
+                seed: cfg.seed,
+            },
+        );
+        assert_ne!(s2bdd_key, sampling_key);
+        let mut c = PlanCache::new(8);
+        c.insert(s2bdd_key, result(0.5));
+        assert!(c.get(&sampling_key).is_none());
     }
 
     #[test]

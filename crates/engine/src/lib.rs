@@ -22,6 +22,13 @@
 //!    answers are bit-identical to one-shot
 //!    [`pro_reliability`](netrel_core::pro_reliability), sequential or not.
 //!
+//! For graphs the exact path cannot finish, the **adaptive planner**
+//! ([`planner`], [`Engine::run_planned_batch`]) routes each part to exact
+//! S2BDD, width-bounded S2BDD, or flat sampling under a per-query
+//! [`PlanBudget`], returning [`ReliabilityAnswer`] values that carry
+//! exactness status and a confidence interval (`DESIGN.md` §9 is the
+//! accuracy contract).
+//!
 //! ```
 //! use netrel_engine::{Engine, EngineConfig, ReliabilityQuery};
 //! use netrel_ugraph::UncertainGraph;
@@ -39,13 +46,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 mod executor;
+pub mod planner;
 pub mod service;
 
-use netrel_core::{combine_part_results, part_s2bdd_config, zero_pro_result, ProConfig, ProResult};
+use netrel_core::{
+    combine_part_results, part_s2bdd_config, sample_part_result, zero_pro_result, ProConfig,
+    ProResult, SamplingConfig,
+};
+use netrel_numeric::{normal_ci, ConfidenceInterval};
 use netrel_preprocess::{preprocess_with_index, GraphIndex, Preprocessed};
 use netrel_s2bdd::{S2Bdd, S2BddResult};
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
@@ -53,6 +65,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use planner::{plan_part, CostEstimate, PartPlan, PartSolver, PlanBudget, Route};
 
 /// Engine-level configuration.
 #[derive(Clone, Copy, Debug)]
@@ -110,6 +123,42 @@ impl ReliabilityQuery {
     /// A query with an explicit configuration.
     pub fn with_config(terminals: Vec<VertexId>, config: ProConfig) -> Self {
         ReliabilityQuery { terminals, config }
+    }
+}
+
+/// One *planned* reliability query: a terminal set, the base solver
+/// configuration, and the [`PlanBudget`] the adaptive planner routes under.
+///
+/// Unlike [`ReliabilityQuery`], the width/samples knobs of `config.s2bdd`
+/// are advisory only — the planner overrides them per part according to its
+/// cost model; the estimator, edge order, merge rule, and seed are honored.
+#[derive(Clone, Debug)]
+pub struct PlannedQuery {
+    /// Terminal vertices (`R[G, T]` asks for all of them to connect).
+    pub terminals: Vec<VertexId>,
+    /// Base solver configuration (seed, estimator, order, merge rule).
+    pub config: ProConfig,
+    /// Per-query resource budget.
+    pub budget: PlanBudget,
+}
+
+impl PlannedQuery {
+    /// A planned query with the default `Pro` base configuration.
+    pub fn new(terminals: Vec<VertexId>, budget: PlanBudget) -> Self {
+        PlannedQuery {
+            terminals,
+            config: ProConfig::default(),
+            budget,
+        }
+    }
+
+    /// A planned query with an explicit base configuration.
+    pub fn with_config(terminals: Vec<VertexId>, config: ProConfig, budget: PlanBudget) -> Self {
+        PlannedQuery {
+            terminals,
+            config,
+            budget,
+        }
     }
 }
 
@@ -188,6 +237,103 @@ impl QueryAnswer {
     }
 }
 
+/// Answer to one *planned* query: the recombined estimate with its proven
+/// bounds, the exactness status, a confidence interval, and the per-part
+/// routing decisions. The exactness/CI contract is specified in
+/// `DESIGN.md` §9:
+///
+/// * `exact == true` — every part was solved exactly; `estimate` **is**
+///   `R[G, T]` (up to f64 rounding of the recombination product) and the CI
+///   is the degenerate `[estimate, estimate]`.
+/// * `exact == false` — at least one part was estimated; `lower_bound` /
+///   `upper_bound` are still *proven* envelopes, and `ci` is the
+///   normal-approximation interval `estimate ± z·√variance` from the
+///   product-estimator variance (paper Theorem 4 composition), widened by
+///   the rule-of-three envelope `3/s` when the sample variance degenerates
+///   to zero (so an estimated answer never claims certainty), intersected
+///   with the proven bounds.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ReliabilityAnswer {
+    /// Estimated (or exact) reliability `R̂[G, T]`.
+    pub estimate: f64,
+    /// Proven lower bound (product of per-part proven lower bounds × `p_b`).
+    pub lower_bound: f64,
+    /// Proven upper bound.
+    pub upper_bound: f64,
+    /// Whether the estimate is the exact reliability.
+    pub exact: bool,
+    /// Confidence interval per the §9 contract (degenerate when exact).
+    pub ci: ConfidenceInterval,
+    /// Bridge-probability factor from decomposition.
+    pub pb: f64,
+    /// Total samples drawn across all parts (cached or fresh).
+    pub samples_used: usize,
+    /// Variance of the product estimator.
+    pub variance_estimate: f64,
+    /// Preprocessing statistics.
+    pub preprocess_stats: netrel_preprocess::PreprocessStats,
+    /// Per-part solver results, in part order.
+    pub parts: Vec<S2BddResult>,
+    /// Route the planner chose for each part, in part order.
+    pub routes: Vec<Route>,
+    /// Parts of this query served from the plan cache.
+    pub cache_hits: usize,
+    /// Parts of this query that required a solve (or joined an identical
+    /// in-batch job).
+    pub cache_misses: usize,
+}
+
+impl ReliabilityAnswer {
+    fn from_pro(
+        r: ProResult,
+        routes: Vec<Route>,
+        budget: &PlanBudget,
+        hits: usize,
+        misses: usize,
+    ) -> Self {
+        let ci = if r.exact {
+            ConfidenceInterval::exact(r.estimate, budget.confidence)
+        } else {
+            let mut ci = normal_ci(r.estimate, r.variance_estimate, budget.confidence);
+            // Degenerate-variance guard, applied per part: a sampled part
+            // whose draws all agreed (all hits or all misses) reports Wald
+            // variance 0 and would enter the Theorem-4 product as a
+            // variance-free constant, letting the interval claim certainty
+            // it does not have — even when other parts contribute variance.
+            // Widen by the rule-of-three envelope `3/sᵢ` (the classic 95%
+            // bound for zero observed failures) for each such part; since
+            // part estimates multiply within [0, 1], the additive slack is
+            // conservative.
+            let slack: f64 = r
+                .parts
+                .iter()
+                .filter(|p| !p.exact && p.samples_used > 0 && p.variance_estimate <= 0.0)
+                .map(|p| 3.0 / p.samples_used as f64)
+                .sum();
+            if slack > 0.0 {
+                ci.lower = (ci.lower - slack).max(0.0);
+                ci.upper = (ci.upper + slack).min(1.0);
+            }
+            ci.clamp_to(r.lower_bound, r.upper_bound)
+        };
+        ReliabilityAnswer {
+            estimate: r.estimate,
+            lower_bound: r.lower_bound,
+            upper_bound: r.upper_bound,
+            exact: r.exact,
+            ci,
+            pb: r.pb,
+            samples_used: r.samples_used,
+            variance_estimate: r.variance_estimate,
+            preprocess_stats: r.preprocess_stats,
+            parts: r.parts,
+            routes,
+            cache_hits: hits,
+            cache_misses: misses,
+        }
+    }
+}
+
 struct RegisteredGraph {
     name: String,
     graph: UncertainGraph,
@@ -211,11 +357,25 @@ enum PartSource {
 
 struct PreparedQuery {
     pre: Preprocessed,
-    config: ProConfig,
+    /// One materialized solver per part (the classic path wraps
+    /// `part_s2bdd_config` in [`PartSolver::S2Bdd`]; the planned path
+    /// routes through the cost model).
+    solvers: Vec<PartSolver>,
+    /// Route per part — empty on the classic path.
+    routes: Vec<Route>,
     /// One [`PlanKey`] per part, built outside the cache lock and reused
     /// for the post-solve insert (the single key-derivation site).
     keys: Vec<PlanKey>,
     sources: Vec<PartSource>,
+    cache_hits: usize,
+    cache_misses: usize,
+}
+
+/// A recombined query outcome plus its routing/caching telemetry — the
+/// common product of the classic and planned paths.
+struct Assembled {
+    pro: ProResult,
+    routes: Vec<Route>,
     cache_hits: usize,
     cache_misses: usize,
 }
@@ -273,51 +433,182 @@ impl Engine {
     /// [`pro_reliability`](netrel_core::pro_reliability) per query with the
     /// same configuration, independent of batch composition, cache state,
     /// and worker count.
+    ///
+    /// ```
+    /// use netrel_engine::{Engine, EngineConfig, ReliabilityQuery};
+    /// use netrel_ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.9)]).unwrap();
+    /// let mut engine = Engine::new(EngineConfig::default());
+    /// let id = engine.register("path", g);
+    /// let queries = [ReliabilityQuery::new(vec![0, 3]), ReliabilityQuery::new(vec![1, 2])];
+    /// let answers = engine.run_batch(id, &queries).unwrap();
+    /// assert_eq!(answers.len(), 2);
+    /// let a = answers[0].as_ref().unwrap();
+    /// // A path is all bridges: preprocessing resolves it exactly.
+    /// assert!(a.exact);
+    /// assert!((a.estimate - 0.9 * 0.8 * 0.9).abs() < 1e-12);
+    /// ```
     pub fn run_batch(
         &self,
         id: GraphId,
         queries: &[ReliabilityQuery],
     ) -> Result<Vec<Result<QueryAnswer, EngineError>>, EngineError> {
-        let rg = self
-            .graphs
-            .get(id.0)
-            .ok_or_else(|| EngineError::UnknownGraph(format!("#{}", id.0)))?;
+        let rg = self.registered(id)?;
 
-        // Stage 1: terminal-dependent preprocessing per query (the
-        // terminal-independent structure is shared via `rg.index`) and key
-        // construction, all outside the cache lock so concurrent batches
-        // only contend on the lookups themselves.
-        let mut prepared: Vec<Result<PreparedQuery, EngineError>> = queries
+        // Stage 1 (classic): terminal-dependent preprocessing per query (the
+        // terminal-independent structure is shared via `rg.index`); every
+        // part is solved by the configured S2BDD with its per-part seed.
+        let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
             .iter()
             .map(|q| {
                 let pre =
                     preprocess_with_index(&rg.graph, &rg.index, &q.terminals, q.config.preprocess)?;
-                let keys = pre
+                let solvers: Vec<PartSolver> = (0..pre.parts.len())
+                    .map(|pi| PartSolver::S2Bdd(part_s2bdd_config(q.config.s2bdd, pi)))
+                    .collect();
+                Ok(Self::prepared(pre, solvers, Vec::new()))
+            })
+            .collect();
+
+        let answers = self
+            .execute(prepared)
+            .into_iter()
+            .map(|a| a.map(|a| QueryAnswer::from_pro(a.pro, a.cache_hits, a.cache_misses)))
+            .collect();
+        Ok(answers)
+    }
+
+    /// Answer one planned query (a one-element batch of
+    /// [`run_planned_batch`](Engine::run_planned_batch)).
+    pub fn run_planned(
+        &self,
+        id: GraphId,
+        query: &PlannedQuery,
+    ) -> Result<ReliabilityAnswer, EngineError> {
+        self.run_planned_batch(id, std::slice::from_ref(query))?
+            .pop()
+            .expect("one answer per query")
+    }
+
+    /// Answer a batch of queries through the **adaptive planner**: each
+    /// decomposed part is routed to exact S2BDD, width-bounded S2BDD, or
+    /// flat sampling by the cost model in [`planner`], under the query's
+    /// [`PlanBudget`]. Answers carry exactness status, proven bounds, and a
+    /// confidence interval per the `DESIGN.md` §9 contract.
+    ///
+    /// Like [`run_batch`](Engine::run_batch), answers are deterministic:
+    /// the budget is folded into solver configurations before solving, so
+    /// batch composition, cache state, and worker count never change a
+    /// result.
+    ///
+    /// ```
+    /// use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery};
+    /// use netrel_ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::new(4, [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.9), (3, 0, 0.7)]).unwrap();
+    /// let mut engine = Engine::new(EngineConfig::default());
+    /// let id = engine.register("cycle", g);
+    /// let q = PlannedQuery::new(vec![0, 2], PlanBudget::default());
+    /// let a = engine.run_planned_batch(id, &[q]).unwrap().remove(0).unwrap();
+    /// assert!(a.exact, "a 4-cycle fits any sane node budget");
+    /// assert!(a.ci.contains(a.estimate));
+    /// ```
+    pub fn run_planned_batch(
+        &self,
+        id: GraphId,
+        queries: &[PlannedQuery],
+    ) -> Result<Vec<Result<ReliabilityAnswer, EngineError>>, EngineError> {
+        let rg = self.registered(id)?;
+
+        // Stage 1 (planned): preprocess, then run the cost model on every
+        // part to materialize its routed solver.
+        let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
+            .iter()
+            .map(|q| {
+                let pre =
+                    preprocess_with_index(&rg.graph, &rg.index, &q.terminals, q.config.preprocess)?;
+                // The wall-clock hint covers the whole query: split its
+                // allowance across the decomposition before routing.
+                let part_budget = q.budget.for_parts(pre.parts.len());
+                let plans: Vec<PartPlan> = pre
                     .parts
                     .iter()
                     .enumerate()
                     .map(|(pi, part)| {
-                        PlanKey::new(
+                        plan_part(
                             &part.graph,
                             &part.terminals,
-                            part_s2bdd_config(q.config.s2bdd, pi),
+                            q.config.s2bdd,
+                            pi,
+                            &part_budget,
                         )
                     })
                     .collect();
-                Ok(PreparedQuery {
-                    pre,
-                    config: q.config,
-                    keys,
-                    sources: Vec::new(),
-                    cache_hits: 0,
-                    cache_misses: 0,
-                })
+                let solvers = plans.iter().map(|p| p.solver).collect();
+                let routes = plans.iter().map(|p| p.route).collect();
+                Ok(Self::prepared(pre, solvers, routes))
             })
             .collect();
 
+        let answers = self
+            .execute(prepared)
+            .into_iter()
+            .zip(queries)
+            .map(|(a, q)| {
+                a.map(|a| {
+                    ReliabilityAnswer::from_pro(
+                        a.pro,
+                        a.routes,
+                        &q.budget,
+                        a.cache_hits,
+                        a.cache_misses,
+                    )
+                })
+            })
+            .collect();
+        Ok(answers)
+    }
+
+    fn registered(&self, id: GraphId) -> Result<&RegisteredGraph, EngineError> {
+        self.graphs
+            .get(id.0)
+            .ok_or_else(|| EngineError::UnknownGraph(format!("#{}", id.0)))
+    }
+
+    /// Assemble a [`PreparedQuery`] from its parts, deriving the cache key
+    /// of every part from its materialized solver (the single
+    /// key-derivation site).
+    fn prepared(pre: Preprocessed, solvers: Vec<PartSolver>, routes: Vec<Route>) -> PreparedQuery {
+        let keys = pre
+            .parts
+            .iter()
+            .zip(&solvers)
+            .map(|(part, &solver)| PlanKey::for_solver(&part.graph, &part.terminals, solver))
+            .collect();
+        PreparedQuery {
+            pre,
+            solvers,
+            routes,
+            keys,
+            sources: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// The shared stage-2/3 pipeline behind both batch entry points:
+    /// plan-cache lookup and in-batch dedup, parallel solving of the
+    /// remaining jobs, cache publication, and per-query recombination with
+    /// the exact `combine_part_results` composition `pro_reliability` uses.
+    fn execute(
+        &self,
+        mut prepared: Vec<Result<PreparedQuery, EngineError>>,
+    ) -> Vec<Result<Assembled, EngineError>> {
         // Plan-cache lookup and in-batch dedup per part, under the lock.
         // Jobs hold `(query, part)` indices into `prepared`, so part graphs
-        // are borrowed, never cloned.
+        // are borrowed, never cloned. Keys were built outside the lock, so
+        // concurrent batches only contend on the lookups themselves.
         let mut jobs: Vec<(usize, usize)> = Vec::new();
         let mut job_ids: HashMap<PlanKey, usize, netrel_numeric::FxBuildHasher> =
             HashMap::default();
@@ -343,23 +634,37 @@ impl Engine {
             }
         } // release the cache lock before solving
 
-        // Stage 2: solve the deduped jobs on the worker pool. Seeds derive
-        // from each job's part index, so results do not depend on scheduling.
+        // Stage 2: solve the deduped jobs on the worker pool. Each job's
+        // solver is fully materialized (seed included), so results do not
+        // depend on scheduling.
         let solved: Vec<Result<S2BddResult, GraphError>> =
             executor::run_indexed(jobs.len(), self.cfg.workers, |j| {
                 let (qi, pi) = jobs[j];
                 let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
                 let part = &prep.pre.parts[pi];
-                S2Bdd::solve(
-                    &part.graph,
-                    &part.terminals,
-                    part_s2bdd_config(prep.config.s2bdd, pi),
-                )
+                match prep.solvers[pi] {
+                    PartSolver::S2Bdd(cfg) => S2Bdd::solve(&part.graph, &part.terminals, cfg),
+                    PartSolver::Sampling {
+                        samples,
+                        estimator,
+                        seed,
+                    } => sample_part_result(
+                        &part.graph,
+                        &part.terminals,
+                        SamplingConfig {
+                            samples,
+                            estimator,
+                            seed,
+                            // The executor already parallelizes across jobs;
+                            // the stream partition keeps this seed-stable.
+                            threads: 1,
+                        },
+                    ),
+                }
             });
 
         // Stage 3: publish fresh results to the cache (in job order, for a
-        // deterministic eviction sequence), then assemble per-query answers
-        // with the exact recombination `pro_reliability` uses.
+        // deterministic eviction sequence), then recombine per query.
         {
             let mut cache = self.cache.lock().expect("plan cache poisoned");
             for (j, result) in solved.iter().enumerate() {
@@ -371,16 +676,17 @@ impl Engine {
             }
         }
 
-        let answers = prepared
+        prepared
             .into_iter()
             .map(|prep| {
                 let prep = prep?;
                 if prep.pre.trivially_zero {
-                    return Ok(QueryAnswer::from_pro(
-                        zero_pro_result(prep.pre.stats),
-                        prep.cache_hits,
-                        prep.cache_misses,
-                    ));
+                    return Ok(Assembled {
+                        pro: zero_pro_result(prep.pre.stats),
+                        routes: prep.routes,
+                        cache_hits: prep.cache_hits,
+                        cache_misses: prep.cache_misses,
+                    });
                 }
                 let mut parts = Vec::with_capacity(prep.sources.len());
                 for source in prep.sources {
@@ -389,14 +695,14 @@ impl Engine {
                         PartSource::Job(j) => parts.push(solved[j].clone()?),
                     }
                 }
-                Ok(QueryAnswer::from_pro(
-                    combine_part_results(prep.pre.pb, prep.pre.stats, parts),
-                    prep.cache_hits,
-                    prep.cache_misses,
-                ))
+                Ok(Assembled {
+                    pro: combine_part_results(prep.pre.pb, prep.pre.stats, parts),
+                    routes: prep.routes,
+                    cache_hits: prep.cache_hits,
+                    cache_misses: prep.cache_misses,
+                })
             })
-            .collect();
-        Ok(answers)
+            .collect()
     }
 
     /// Snapshot of the plan cache counters.
@@ -560,5 +866,130 @@ mod tests {
         let a = engine.run(id, &ReliabilityQuery::new(vec![0, 2])).unwrap();
         assert_eq!(a.estimate, 0.0);
         assert!(a.exact);
+    }
+
+    /// Complete graph on `n` vertices, p = 0.5 everywhere.
+    fn clique(n: usize) -> UncertainGraph {
+        netrel_datasets::clique_uniform(n, 0.5)
+    }
+
+    #[test]
+    fn planner_takes_exact_route_on_sparse_fixture_bit_identically() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        for terminals in [vec![0, 4], vec![0, 7], vec![1, 4, 6]] {
+            let q = PlannedQuery::new(terminals.clone(), PlanBudget::default());
+            let a = engine.run_planned(id, &q).unwrap();
+            assert!(a.routes.iter().all(|&r| r == Route::Exact), "{terminals:?}");
+            assert!(a.exact);
+            assert_eq!(a.samples_used, 0);
+            assert_eq!((a.ci.lower, a.ci.upper), (a.estimate, a.estimate));
+            // Bit-identical to the one-shot exact Pro solve.
+            let solo = pro_reliability(
+                &g,
+                &terminals,
+                netrel_core::ProConfig {
+                    s2bdd: S2BddConfig::exact(),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(a.estimate.to_bits(), solo.estimate.to_bits());
+            assert_eq!(a.lower_bound.to_bits(), solo.lower_bound.to_bits());
+            assert_eq!(a.upper_bound.to_bits(), solo.upper_bound.to_bits());
+        }
+    }
+
+    #[test]
+    fn planner_routes_dense_graph_to_sampling_and_attaches_ci() {
+        let g = clique(60);
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("clique", g);
+        let q = PlannedQuery::new(vec![0, 59], PlanBudget::default());
+        let a = engine.run_planned(id, &q).unwrap();
+        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(!a.exact);
+        assert!(a.samples_used > 0);
+        assert!(a.ci.contains(a.estimate));
+        assert!(a.ci.width() > 0.0 || a.variance_estimate == 0.0);
+        assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+    }
+
+    #[test]
+    fn planned_answers_are_deterministic_and_cacheable() {
+        let g = clique(40);
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("clique", g.clone());
+        let q = [PlannedQuery::new(vec![0, 39], PlanBudget::default())];
+        let a1 = engine.run_planned_batch(id, &q).unwrap().remove(0).unwrap();
+        let a2 = engine.run_planned_batch(id, &q).unwrap().remove(0).unwrap();
+        assert!(a1.cache_misses > 0);
+        assert_eq!(a2.cache_misses, 0, "second run is served from the cache");
+        assert_eq!(a1.estimate.to_bits(), a2.estimate.to_bits());
+        // A separate engine (fresh cache, different worker count) agrees.
+        let mut other = Engine::new(EngineConfig::sequential());
+        let oid = other.register("clique", g);
+        let b = other.run_planned_batch(oid, &q).unwrap().remove(0).unwrap();
+        assert_eq!(a1.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a1.routes, b.routes);
+    }
+
+    #[test]
+    fn node_budget_safety_net_still_answers_when_model_is_forced_wrong() {
+        // A budget of 2 nodes under-provisions even the lollipop: the exact
+        // route cannot be chosen, and whatever route is, the answer must
+        // come back with valid bounds and CI rather than an error.
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        let budget = PlanBudget {
+            node_budget: 2,
+            sample_budget: 2_000,
+            ..Default::default()
+        };
+        let a = engine
+            .run_planned(id, &PlannedQuery::new(vec![0, 7], budget))
+            .unwrap();
+        assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+        assert!(a.ci.contains(a.estimate));
+        let truth = netrel_bdd::brute_force_reliability(&g, &[0, 7]);
+        assert!(a.lower_bound <= truth + 1e-12 && truth - 1e-12 <= a.upper_bound);
+    }
+
+    #[test]
+    fn degenerate_variance_never_yields_a_certain_estimate() {
+        // Near-certain edges: every sampled world connects, the Wald
+        // variance is exactly 0, and without the rule-of-three guard the
+        // "95% CI" would be the lying point interval [1, 1].
+        let g = netrel_datasets::clique_uniform(50, 0.95);
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("hot-clique", g);
+        let a = engine
+            .run_planned(id, &PlannedQuery::new(vec![0, 49], PlanBudget::default()))
+            .unwrap();
+        assert!(!a.exact);
+        assert_eq!(a.estimate, 1.0, "every draw connects");
+        assert_eq!(a.variance_estimate, 0.0);
+        let slack = 3.0 / a.samples_used as f64;
+        assert!((a.ci.lower - (1.0 - slack)).abs() < 1e-12, "{:?}", a.ci);
+        assert_eq!(a.ci.upper, 1.0);
+        assert!(a.ci.width() > 0.0);
+    }
+
+    #[test]
+    fn time_hint_only_tightens_never_breaks() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g);
+        let budget = PlanBudget {
+            time_hint_ms: Some(1),
+            ..Default::default()
+        };
+        let a = engine
+            .run_planned(id, &PlannedQuery::new(vec![0, 7], budget))
+            .unwrap();
+        assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+        assert!(a.ci.contains(a.estimate));
     }
 }

@@ -11,6 +11,7 @@
 //! {"op":"register","name":"g","vertices":8,"edges":[[0,1,0.5],[1,2,0.9]]}
 //! {"op":"query","graph":"g","terminals":[0,2],"samples":5000,"seed":7}
 //! {"op":"batch","graph":"g","queries":[{"terminals":[0,2]},{"terminals":[1,2],"seed":9}]}
+//! {"op":"query","graph":"g","terminals":[0,2],"budget":{"nodes":100000,"confidence":0.99}}
 //! {"op":"stats"}
 //! ```
 //!
@@ -20,14 +21,26 @@
 //! the top level act as defaults for every query; a knob set on the query
 //! object itself always wins over the batch default.
 //!
+//! Passing `"plan": true` or a `"budget"` object routes the request through
+//! the **adaptive planner** ([`Engine::run_planned_batch`]): `budget`
+//! accepts `nodes`, `samples`, `time_ms`, and `confidence`
+//! (`0.9`/`0.95`/`0.99`), each defaulting to [`PlanBudget::default`]
+//! (`crate::PlanBudget`); planned answers additionally carry `ci`
+//! (`{lower, upper, level}`) and `routes` (one of `"exact"`, `"bounded"`,
+//! `"sampling"` per part). In a `batch`, one planned query plans the whole
+//! batch, with the top-level budget as the default. The full protocol —
+//! shapes, field tables, netcat/curl examples — is documented in
+//! `docs/protocol.md`.
+//!
 //! ## Responses
 //!
 //! Every response carries `"ok"`; failures carry `"error"` instead of a
 //! payload. A `batch` response holds one `{ok, answer|error}` object per
 //! query in request order, so one bad query cannot poison a batch.
 
-use crate::{Engine, EngineError, QueryAnswer, ReliabilityQuery};
+use crate::{Engine, EngineError, PlanBudget, PlannedQuery, ReliabilityQuery};
 use netrel_core::ProConfig;
+use netrel_numeric::ConfidenceLevel;
 use netrel_s2bdd::{EstimatorKind, S2BddConfig};
 use netrel_ugraph::UncertainGraph;
 use serde::{Serialize, Value};
@@ -101,14 +114,24 @@ impl Service {
     fn op_query(&mut self, request: &Value) -> Result<Value, String> {
         let id = self.graph_field(request)?;
         let query = parse_query(request, request)?;
-        let answer = self
-            .engine
-            .run(id, &query)
-            .map_err(|e: EngineError| e.to_string())?;
+        let answer = if wants_plan(request) {
+            let mut budget = PlanBudget::default();
+            apply_budget(request, &mut budget)?;
+            let planned = PlannedQuery::with_config(query.terminals, query.config, budget);
+            self.engine
+                .run_planned(id, &planned)
+                .map_err(|e: EngineError| e.to_string())?
+                .to_value()
+        } else {
+            self.engine
+                .run(id, &query)
+                .map_err(|e: EngineError| e.to_string())?
+                .to_value()
+        };
         Ok(Value::Map(vec![
             ("ok".into(), Value::Bool(true)),
             ("op".into(), Value::Str("query".into())),
-            ("answer".into(), answer.to_value()),
+            ("answer".into(), answer),
         ]))
     }
 
@@ -123,11 +146,33 @@ impl Service {
             .iter()
             .map(|item| parse_query(item, request))
             .collect::<Result<Vec<_>, _>>()?;
-        let answers = self
-            .engine
-            .run_batch(id, &queries)
-            .map_err(|e| e.to_string())?;
-        let rendered: Vec<Value> = answers.into_iter().map(answer_slot).collect();
+        // One planned query (or a top-level `plan`/`budget`) plans the whole
+        // batch: budgets layer like solver knobs, batch level first.
+        let rendered: Vec<Value> = if wants_plan(request) || items.iter().any(wants_plan) {
+            let planned = items
+                .iter()
+                .zip(queries)
+                .map(|(item, q)| {
+                    let mut budget = PlanBudget::default();
+                    apply_budget(request, &mut budget)?;
+                    apply_budget(item, &mut budget)?;
+                    Ok(PlannedQuery::with_config(q.terminals, q.config, budget))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            self.engine
+                .run_planned_batch(id, &planned)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(answer_slot)
+                .collect()
+        } else {
+            self.engine
+                .run_batch(id, &queries)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(answer_slot)
+                .collect()
+        };
         Ok(Value::Map(vec![
             ("ok".into(), Value::Bool(true)),
             ("op".into(), Value::Str("batch".into())),
@@ -164,7 +209,7 @@ fn err_response(message: impl Into<String>) -> Value {
     ])
 }
 
-fn answer_slot(result: Result<QueryAnswer, EngineError>) -> Value {
+fn answer_slot<T: Serialize>(result: Result<T, EngineError>) -> Value {
     match result {
         Ok(answer) => Value::Map(vec![
             ("ok".into(), Value::Bool(true)),
@@ -172,6 +217,48 @@ fn answer_slot(result: Result<QueryAnswer, EngineError>) -> Value {
         ]),
         Err(e) => err_response(e.to_string()),
     }
+}
+
+/// Whether one request (or query object) opts into the adaptive planner.
+fn wants_plan(v: &Value) -> bool {
+    matches!(v.get("plan"), Some(Value::Bool(true))) || v.get("budget").is_some()
+}
+
+/// Layer one request object's `budget` fields onto `budget` (absent fields
+/// keep their current value, mirroring the solver-knob layering).
+fn apply_budget(v: &Value, budget: &mut PlanBudget) -> Result<(), String> {
+    let obj = match v.get("budget") {
+        Some(obj @ Value::Map(_)) => obj,
+        Some(_) => return Err("field `budget` must be an object".into()),
+        None => return Ok(()),
+    };
+    if let Some(n) = opt_u64(obj, "nodes")? {
+        budget.node_budget = n as usize;
+    }
+    if let Some(s) = opt_u64(obj, "samples")? {
+        budget.sample_budget = s as usize;
+    }
+    if let Some(ms) = opt_u64(obj, "time_ms")? {
+        budget.time_hint_ms = Some(ms);
+    }
+    match obj.get("confidence") {
+        Some(Value::F64(c)) => {
+            budget.confidence = if (*c - 0.90).abs() < 1e-9 {
+                ConfidenceLevel::P90
+            } else if (*c - 0.95).abs() < 1e-9 {
+                ConfidenceLevel::P95
+            } else if (*c - 0.99).abs() < 1e-9 {
+                ConfidenceLevel::P99
+            } else {
+                return Err(format!(
+                    "unsupported confidence {c} (use 0.9, 0.95, or 0.99)"
+                ));
+            };
+        }
+        Some(_) => return Err("field `confidence` must be a number".into()),
+        None => {}
+    }
+    Ok(())
 }
 
 fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
@@ -407,6 +494,73 @@ mod tests {
         assert_eq!(exact(&answers[0]), Some(Value::Bool(true)));
         // The second inherits the width-1 default and stays approximate.
         assert_eq!(exact(&answers[1]), Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn planned_query_carries_ci_and_routes() {
+        let mut s = service_with_graph();
+        let response = s.handle_line(
+            r#"{"op":"query","graph":"g","terminals":[0,2],
+                "budget":{"nodes":100000,"confidence":0.99}}"#,
+        );
+        let v = parse(&response);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{response}");
+        let answer = v.get("answer").expect("answer present");
+        // Small sparse graph: planner takes the exact route everywhere.
+        assert_eq!(answer.get("exact"), Some(&Value::Bool(true)));
+        let ci = answer.get("ci").expect("planned answers carry a ci");
+        let f = |k: &str| match ci.get(k) {
+            Some(Value::F64(x)) => *x,
+            other => panic!("ci.{k} missing: {other:?}"),
+        };
+        assert!(f("lower") <= f("upper"));
+        assert_eq!(ci.get("level"), Some(&Value::F64(0.99)));
+        match answer.get("routes") {
+            Some(Value::Seq(routes)) => {
+                assert!(routes.iter().all(|r| r == &Value::Str("exact".into())))
+            }
+            other => panic!("routes missing: {other:?}"),
+        }
+        // Classic queries stay CI-free.
+        let classic = parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2]}"#));
+        assert!(classic.get("answer").unwrap().get("ci").is_none());
+    }
+
+    #[test]
+    fn plan_flag_alone_enables_the_planner_for_a_batch() {
+        let mut s = service_with_graph();
+        let response = s.handle_line(
+            r#"{"op":"batch","graph":"g","plan":true,"queries":
+                [{"terminals":[0,2]},{"terminals":[1,3],"budget":{"confidence":0.9}}]}"#,
+        );
+        let v = parse(&response);
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{response}");
+        let answers = match v.get("answers") {
+            Some(Value::Seq(a)) => a,
+            other => panic!("answers missing: {other:?}"),
+        };
+        let level = |a: &Value| {
+            a.get("answer")
+                .and_then(|ans| ans.get("ci"))
+                .and_then(|ci| ci.get("level"))
+                .cloned()
+        };
+        // Default level for the first, the per-query override for the second.
+        assert_eq!(level(&answers[0]), Some(Value::F64(0.95)));
+        assert_eq!(level(&answers[1]), Some(Value::F64(0.9)));
+    }
+
+    #[test]
+    fn malformed_budget_is_an_error_not_a_panic() {
+        let mut s = service_with_graph();
+        for bad in [
+            r#"{"op":"query","graph":"g","terminals":[0,2],"budget":7}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,2],"budget":{"confidence":0.5}}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,2],"budget":{"nodes":"many"}}"#,
+        ] {
+            let v = parse(&s.handle_line(bad));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
+        }
     }
 
     #[test]

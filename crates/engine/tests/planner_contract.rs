@@ -1,0 +1,215 @@
+//! Integration contract of the adaptive planner (DESIGN.md §9):
+//!
+//! 1. On small/sparse instances the planner picks the exact route and its
+//!    answers are **bit-identical** to one-shot exact `pro_reliability`.
+//! 2. A dense-graph batch the exact-only path cannot finish under the node
+//!    cap completes through the planner with CI-carrying answers.
+//! 3. Planned answers are deterministic across engines, worker counts, and
+//!    cache states.
+
+use netrel_core::{pro_reliability, ProConfig};
+use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery, ReliabilityQuery, Route};
+use netrel_s2bdd::S2BddConfig;
+use netrel_ugraph::UncertainGraph;
+
+fn exact_cfg() -> ProConfig {
+    ProConfig {
+        s2bdd: S2BddConfig::exact(),
+        ..Default::default()
+    }
+}
+
+/// The small/sparse fixture set used across the repo's tests.
+fn sparse_fixtures() -> Vec<(&'static str, UncertainGraph, Vec<Vec<usize>>)> {
+    let lollipop = UncertainGraph::new(
+        8,
+        [
+            (0, 1, 0.5),
+            (1, 2, 0.6),
+            (0, 2, 0.7),
+            (2, 3, 0.8),
+            (3, 4, 0.5),
+            (4, 5, 0.6),
+            (3, 5, 0.7),
+            (5, 6, 0.9),
+            (6, 7, 0.9),
+        ],
+    )
+    .unwrap();
+    let path = UncertainGraph::new(10, (0..9).map(|i| (i, i + 1, 0.9))).unwrap();
+    let cycle = UncertainGraph::new(8, (0..8).map(|i| (i, (i + 1) % 8, 0.8))).unwrap();
+    let mut grid_edges = Vec::new();
+    let id = |x: usize, y: usize| y * 4 + x;
+    for y in 0..4 {
+        for x in 0..4 {
+            if x + 1 < 4 {
+                grid_edges.push((id(x, y), id(x + 1, y), 0.7));
+            }
+            if y + 1 < 4 {
+                grid_edges.push((id(x, y), id(x, y + 1), 0.6));
+            }
+        }
+    }
+    let grid = UncertainGraph::new(16, grid_edges).unwrap();
+    vec![
+        (
+            "lollipop",
+            lollipop,
+            vec![vec![0, 4], vec![0, 7], vec![1, 4, 6]],
+        ),
+        ("path", path, vec![vec![0, 9], vec![2, 7]]),
+        ("cycle", cycle, vec![vec![0, 4], vec![1, 5, 7]]),
+        ("grid4x4", grid, vec![vec![0, 15], vec![3, 12]]),
+    ]
+}
+
+use netrel_datasets::clique;
+
+#[test]
+fn sparse_fixtures_route_exact_and_match_pro_bitwise() {
+    for (name, g, terminal_sets) in sparse_fixtures() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register(name, g.clone());
+        let queries: Vec<PlannedQuery> = terminal_sets
+            .iter()
+            .map(|t| PlannedQuery::new(t.clone(), PlanBudget::default()))
+            .collect();
+        let answers = engine.run_planned_batch(id, &queries).unwrap();
+        for (t, a) in terminal_sets.iter().zip(answers) {
+            let a = a.unwrap();
+            assert!(
+                a.routes.iter().all(|&r| r == Route::Exact),
+                "{name} {t:?}: {:?}",
+                a.routes
+            );
+            assert!(a.exact, "{name} {t:?}");
+            assert_eq!(a.samples_used, 0);
+            assert_eq!((a.ci.lower, a.ci.upper), (a.estimate, a.estimate));
+            let solo = pro_reliability(&g, t, exact_cfg()).unwrap();
+            assert_eq!(
+                a.estimate.to_bits(),
+                solo.estimate.to_bits(),
+                "{name} {t:?}: {} vs {}",
+                a.estimate,
+                solo.estimate
+            );
+            assert_eq!(a.lower_bound.to_bits(), solo.lower_bound.to_bits());
+            assert_eq!(a.upper_bound.to_bits(), solo.upper_bound.to_bits());
+        }
+    }
+}
+
+#[test]
+fn dense_batch_unfinishable_exactly_completes_through_the_planner() {
+    let budget = PlanBudget::default();
+    let g = clique(55);
+    let mut engine = Engine::new(EngineConfig::default());
+    let id = engine.register("clique55", g.clone());
+
+    // Exact-only under the same node cap: the solver trips the cap and,
+    // with no sampling budget, degrades to a useless [~0, ~1] envelope —
+    // this is the failure mode the planner exists to avoid.
+    let capped_exact = ReliabilityQuery::with_config(
+        vec![0, 54],
+        ProConfig {
+            s2bdd: S2BddConfig {
+                node_cap: budget.node_budget,
+                ..S2BddConfig::exact()
+            },
+            ..Default::default()
+        },
+    );
+    let crashed = engine.run(id, &capped_exact).unwrap();
+    assert!(
+        !crashed.exact,
+        "a 55-clique cannot finish under the node cap"
+    );
+    assert!(crashed.parts.iter().any(|p| p.node_cap_hit));
+    assert!(
+        crashed.upper_bound - crashed.lower_bound > 0.9,
+        "exact-only leaves an uninformative envelope: [{}, {}]",
+        crashed.lower_bound,
+        crashed.upper_bound
+    );
+
+    // The planner routes the same batch to sampling and completes with
+    // CI-carrying answers.
+    let queries: Vec<PlannedQuery> = [vec![0, 54], vec![1, 30], vec![7, 20, 40]]
+        .into_iter()
+        .map(|t| PlannedQuery::new(t, budget))
+        .collect();
+    let answers = engine.run_planned_batch(id, &queries).unwrap();
+    for a in answers {
+        let a = a.unwrap();
+        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(!a.exact);
+        assert!(a.samples_used > 0);
+        assert!(a.ci.contains(a.estimate));
+        assert!(
+            a.ci.width() > 0.0,
+            "an estimated answer must never claim certainty: {:?}",
+            a.ci
+        );
+        assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+        // A 55-clique with p ≈ 0.5 edges is connected almost surely.
+        assert!(a.estimate > 0.99, "estimate {}", a.estimate);
+    }
+}
+
+#[test]
+fn planned_answers_identical_across_engines_and_worker_counts() {
+    let g = clique(45);
+    let queries: Vec<PlannedQuery> = [vec![0, 44], vec![3, 17]]
+        .into_iter()
+        .map(|t| PlannedQuery::new(t, PlanBudget::default()))
+        .collect();
+    let mut reference: Option<Vec<(u64, u64, u64)>> = None;
+    for cfg in [
+        EngineConfig::sequential(),
+        EngineConfig {
+            workers: 8,
+            plan_cache_capacity: 0,
+        },
+        EngineConfig::default(),
+    ] {
+        let mut engine = Engine::new(cfg);
+        let id = engine.register("clique45", g.clone());
+        let bits: Vec<(u64, u64, u64)> = engine
+            .run_planned_batch(id, &queries)
+            .unwrap()
+            .into_iter()
+            .map(|a| {
+                let a = a.unwrap();
+                (
+                    a.estimate.to_bits(),
+                    a.ci.lower.to_bits(),
+                    a.ci.upper.to_bits(),
+                )
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(r, &bits, "{cfg:?}"),
+        }
+    }
+}
+
+#[test]
+fn mixed_batch_routes_per_part() {
+    // One engine, one batch: a sparse query stays exact while a dense one
+    // is sampled — routing is per part, not per batch.
+    let mut engine = Engine::new(EngineConfig::default());
+    let sparse = UncertainGraph::new(6, (0..5).map(|i| (i, i + 1, 0.9))).unwrap();
+    let dense = clique(50);
+    let sid = engine.register("sparse", sparse);
+    let did = engine.register("dense", dense);
+    let a = engine
+        .run_planned(sid, &PlannedQuery::new(vec![0, 5], PlanBudget::default()))
+        .unwrap();
+    assert!(a.exact);
+    let b = engine
+        .run_planned(did, &PlannedQuery::new(vec![0, 49], PlanBudget::default()))
+        .unwrap();
+    assert!(!b.exact);
+    assert!(b.routes.contains(&Route::Sampling));
+}

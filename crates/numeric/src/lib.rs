@@ -13,7 +13,7 @@
 //! metrics used by the paper's evaluation ([`stats::accuracy`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod fxhash;
 pub mod kahan;
@@ -23,5 +23,7 @@ pub mod widefloat;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use kahan::NeumaierSum;
-pub use stats::{accuracy, AccuracyReport, OnlineStats};
+pub use stats::{
+    accuracy, normal_ci, AccuracyReport, ConfidenceInterval, ConfidenceLevel, OnlineStats,
+};
 pub use widefloat::WideFloat;

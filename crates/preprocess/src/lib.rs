@@ -28,7 +28,7 @@
 //! amortize the structure passes across thousands of terminal sets.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod decompose;
 pub mod pipeline;

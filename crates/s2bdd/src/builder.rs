@@ -61,10 +61,12 @@ impl S2Bdd {
         let mut samples_taken = 0usize;
         let mut s_cur = cfg.samples;
         let mut deleted_nodes_total = 0usize;
+        let mut created_nodes_total = 1usize; // the root
         let mut peak_width = 1usize;
         let mut peak_memory = 0usize;
         let mut layers_completed = 0usize;
         let mut early_exit = false;
+        let mut node_cap_hit = false;
         let mut trajectory: Option<Vec<(f64, f64)>> = cfg.record_trajectory.then(Vec::new);
 
         for l in 0..layers_total {
@@ -97,6 +99,7 @@ impl S2Bdd {
                                 next[i as usize].pn += pn;
                             } else if next.len() < cfg.max_width {
                                 index.insert(key.clone(), next.len() as u32);
+                                created_nodes_total += 1;
                                 next.push(Node {
                                     state: ns,
                                     pn,
@@ -161,11 +164,21 @@ impl S2Bdd {
             // literal condition `c + ⌊s′·p_Nnext⌋ ≥ s′` is trivially true at
             // layer 0 where p_Nnext = 1; we read it as budget exhaustion,
             // which matches the §4.3.3 prose.)
-            if cfg.samples > 0 && l + 1 < layers_total && samples_taken >= s_cur {
+            //
+            // The node cap rides the same mechanism: when the cumulative
+            // number of live nodes created exceeds `cfg.node_cap`, the
+            // still-live layer is surfaced to the conditional stratum
+            // sampler instead of letting the construction blow up. With a
+            // zero sample budget the live mass simply stays between the
+            // proven bounds.
+            let budget_exhausted = cfg.samples > 0 && samples_taken >= s_cur;
+            let cap_exceeded = created_nodes_total > cfg.node_cap;
+            if (budget_exhausted || cap_exceeded) && l + 1 < layers_total {
+                node_cap_hit |= cap_exceeded;
                 let live_mass_wf: WideFloat = next.iter().map(|n| n.pn).sum();
                 let live_mass = live_mass_wf.to_f64();
                 let live_quota = ((s_cur as f64) * live_mass).floor() as usize;
-                if live_mass > 0.0 {
+                if live_mass > 0.0 && cfg.samples > 0 {
                     let pool: Vec<(State, WideFloat)> =
                         next.into_iter().map(|n| (n.state, n.pn)).collect();
                     let mut st = Stratum::new(usize::MAX, live_mass);
@@ -183,7 +196,12 @@ impl S2Bdd {
                     );
                     samples_taken += quota;
                     strata.push(st);
-                    early_exit = true;
+                    early_exit |= budget_exhausted;
+                    break;
+                }
+                if cap_exceeded {
+                    // No sampling budget: abandon the live mass; the
+                    // estimate degrades to the proven lower bound.
                     break;
                 }
                 // (ownership: `next` was not consumed above)
@@ -209,7 +227,7 @@ impl S2Bdd {
             estimate += st.estimate(cfg.estimator);
             variance += st.variance_contrib(cfg.estimator);
         }
-        let exact = strata.is_empty() && !early_exit && deleted_nodes_total == 0;
+        let exact = strata.is_empty() && !early_exit && !node_cap_hit && deleted_nodes_total == 0;
         if exact {
             debug_assert!(
                 (pc_f + pd_f - 1.0).abs() < 1e-9,
@@ -234,6 +252,7 @@ impl S2Bdd {
             layers_completed,
             layers_total,
             early_exit,
+            node_cap_hit,
             trajectory,
         })
     }
@@ -476,6 +495,64 @@ mod tests {
         assert!(!r.exact);
         assert!(r.lower_bound <= exact && exact <= r.upper_bound);
         assert!(r.layers_completed < r.layers_total);
+    }
+
+    #[test]
+    fn node_cap_aborts_with_valid_bounds_and_estimate() {
+        let (g, t) = fixture();
+        let exact = brute_force_reliability(&g, &t);
+        let cfg = S2BddConfig {
+            node_cap: 3,
+            samples: 50_000,
+            seed: 13,
+            ..S2BddConfig::exact()
+        };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        assert!(
+            r.node_cap_hit,
+            "cap of 3 nodes must trip on Figure 1: {r:?}"
+        );
+        assert!(!r.exact);
+        assert!(!r.early_exit, "cap abort is not a budget early exit");
+        assert!(r.layers_completed < r.layers_total);
+        assert!(r.lower_bound <= exact + 1e-12 && exact - 1e-12 <= r.upper_bound);
+        // The live layer was surfaced as one stratum; with a generous budget
+        // the estimate lands near the truth.
+        assert!(r.strata >= 1);
+        assert!(
+            (r.estimate - exact).abs() < 0.05,
+            "{} vs {exact}",
+            r.estimate
+        );
+    }
+
+    #[test]
+    fn node_cap_without_samples_degrades_to_lower_bound() {
+        let (g, t) = fixture();
+        let cfg = S2BddConfig {
+            node_cap: 3,
+            ..S2BddConfig::exact()
+        };
+        let r = S2Bdd::solve(&g, &t, cfg).unwrap();
+        assert!(r.node_cap_hit);
+        assert!(!r.exact);
+        assert_eq!(r.samples_used, 0);
+        assert_eq!(r.estimate, r.lower_bound);
+    }
+
+    #[test]
+    fn unbounded_node_cap_preserves_exactness() {
+        let (g, t) = fixture();
+        let base = S2Bdd::solve(&g, &t, S2BddConfig::exact()).unwrap();
+        assert!(base.exact && !base.node_cap_hit);
+        // A cap far above the diagram size never trips.
+        let roomy = S2BddConfig {
+            node_cap: 1_000_000,
+            ..S2BddConfig::exact()
+        };
+        let r = S2Bdd::solve(&g, &t, roomy).unwrap();
+        assert!(r.exact && !r.node_cap_hit);
+        assert_eq!(r.estimate.to_bits(), base.estimate.to_bits());
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct S2BddConfig {
     /// Apply Theorem 1/2 sample-count reduction as the bounds tighten.
     /// Disable to ablate the reduction while keeping the stratification.
     pub reduce_samples: bool,
+    /// Abort construction once the total number of live nodes created
+    /// across all layers exceeds this cap: the still-live layer is handed to
+    /// the conditional [`StratumSampler`](crate::sampler::StratumSampler) as
+    /// one final stratum (the same mechanism as the budget early exit), so
+    /// the run still returns proven bounds and an unbiased estimate instead
+    /// of blowing up. `usize::MAX` (the default) disables the cap. Used by
+    /// the engine's adaptive planner as the safety net of its exact route.
+    pub node_cap: usize,
     /// Record the `(p_c, p_d)` trajectory per layer (costs `O(|E|)` memory;
     /// useful for plots and diagnostics).
     pub record_trajectory: bool,
@@ -54,6 +62,7 @@ impl Default for S2BddConfig {
             merge_rule: MergeRule::Pattern,
             seed: 0x5eed,
             reduce_samples: true,
+            node_cap: usize::MAX,
             record_trajectory: false,
         }
     }
@@ -96,5 +105,6 @@ mod tests {
         let c = S2BddConfig::exact();
         assert_eq!(c.max_width, usize::MAX);
         assert_eq!(c.samples, 0);
+        assert_eq!(c.node_cap, usize::MAX);
     }
 }

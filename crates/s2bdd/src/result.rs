@@ -37,6 +37,11 @@ pub struct S2BddResult {
     /// Whether construction stopped early because the sample budget was
     /// exhausted (Algorithm 2, lines 26–30).
     pub early_exit: bool,
+    /// Whether construction aborted because the configured
+    /// [`node_cap`](crate::S2BddConfig::node_cap) was exceeded — the live
+    /// layer was surfaced to the fallback stratum sampler (or, with a zero
+    /// sample budget, its mass was left between the bounds).
+    pub node_cap_hit: bool,
     /// Optional per-layer `(p_c, p_d)` trajectory.
     pub trajectory: Option<Vec<(f64, f64)>>,
 }
@@ -60,6 +65,7 @@ impl S2BddResult {
             layers_completed: 0,
             layers_total: 0,
             early_exit: false,
+            node_cap_hit: false,
             trajectory: None,
         }
     }

@@ -15,7 +15,7 @@
 //! * [`sample`]: possible-world sampling with early-exit connectivity.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bridges;
 pub mod dsu;

@@ -86,6 +86,31 @@ fn degeneracy_order(g: &UncertainGraph) -> Vec<EdgeId> {
     ids
 }
 
+/// Width during layer `l` counts vertices with `first <= l <= last`
+/// (difference array + prefix sum) — the single implementation behind both
+/// `FrontierPlan::build`'s `max_width` and
+/// [`FrontierPlan::layer_widths`], so cost models can never diverge from
+/// the solver's actual frontier.
+fn widths_from_touch(
+    first_touch: &[usize],
+    last_touch: &[usize],
+    layers: usize,
+) -> impl Iterator<Item = usize> {
+    let mut delta = vec![0isize; layers + 1];
+    for v in 0..first_touch.len() {
+        if first_touch[v] != usize::MAX {
+            delta[first_touch[v]] += 1;
+            delta[last_touch[v] + 1] -= 1;
+        }
+    }
+    delta.truncate(layers);
+    let mut cur = 0isize;
+    delta.into_iter().map(move |d| {
+        cur += d;
+        cur as usize
+    })
+}
+
 /// Emit edges grouped by visit order of their first-visited endpoint.
 fn traversal_order(g: &UncertainGraph, start: VertexId, depth_first: bool) -> Vec<EdgeId> {
     let n = g.num_vertices();
@@ -160,27 +185,22 @@ impl FrontierPlan {
                 last_touch[v] = l;
             }
         }
-        // Width during layer l counts vertices with first <= l <= last.
-        let m = order.len();
-        let mut delta = vec![0isize; m + 1];
-        for v in 0..n {
-            if first_touch[v] != usize::MAX {
-                delta[first_touch[v]] += 1;
-                delta[last_touch[v] + 1] -= 1;
-            }
-        }
-        let mut cur = 0isize;
-        let mut max_width = 0usize;
-        for d in &delta[..m] {
-            cur += d;
-            max_width = max_width.max(cur as usize);
-        }
+        let max_width = widths_from_touch(&first_touch, &last_touch, order.len())
+            .max()
+            .unwrap_or(0);
         FrontierPlan {
             order,
             first_touch,
             last_touch,
             max_width,
         }
+    }
+
+    /// Number of live frontier vertices during each layer (the per-layer
+    /// profile behind [`max_width`](FrontierPlan::max_width)) — the input
+    /// of diagram-size cost models.
+    pub fn layer_widths(&self) -> impl Iterator<Item = usize> + '_ {
+        widths_from_touch(&self.first_touch, &self.last_touch, self.order.len())
     }
 
     /// Convenience: order by strategy, then build.
@@ -296,6 +316,27 @@ mod tests {
             bfs.max_width,
             input.max_width
         );
+    }
+
+    #[test]
+    fn layer_widths_profile_matches_max_and_oracle() {
+        let g = grid2x3();
+        for strat in [EdgeOrder::Input, EdgeOrder::Bfs, EdgeOrder::Degeneracy] {
+            let plan = FrontierPlan::for_strategy(&g, strat, 0);
+            let widths: Vec<usize> = plan.layer_widths().collect();
+            assert_eq!(widths.len(), plan.layers());
+            assert_eq!(widths.iter().copied().max().unwrap_or(0), plan.max_width);
+            for (l, &w) in widths.iter().enumerate() {
+                let oracle = (0..g.num_vertices())
+                    .filter(|&v| {
+                        plan.first_touch[v] != usize::MAX
+                            && plan.first_touch[v] <= l
+                            && plan.last_touch[v] >= l
+                    })
+                    .count();
+                assert_eq!(w, oracle, "{strat:?} layer {l}");
+            }
+        }
     }
 
     #[test]

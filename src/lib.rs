@@ -29,10 +29,16 @@
 //! | [`s2bdd`] | the paper's S2BDD solver |
 //! | [`preprocessing`] | prune / decompose / transform |
 //! | [`solvers`] | `Sampling(MC/HT)`, `Pro`, exact |
-//! | [`engine`] | batched multi-query engine: shared preprocessing, plan cache, JSON service |
+//! | [`engine`] | batched multi-query engine: shared preprocessing, adaptive planner, plan cache, JSON service |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+
+// Compile and run every Rust snippet in the README as part of
+// `cargo test --doc`, so the quickstarts can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 pub use netrel_bdd as bdd;
 pub use netrel_core as solvers;
@@ -47,6 +53,9 @@ pub use netrel_ugraph as graph;
 pub mod prelude {
     pub use netrel_core::prelude::*;
     pub use netrel_datasets::{Dataset, ProbModel};
-    pub use netrel_engine::{Engine, EngineConfig, QueryAnswer, ReliabilityQuery};
+    pub use netrel_engine::{
+        Engine, EngineConfig, PlanBudget, PlannedQuery, QueryAnswer, ReliabilityAnswer,
+        ReliabilityQuery, Route,
+    };
     pub use netrel_ugraph::{GraphStats, UncertainGraph};
 }
