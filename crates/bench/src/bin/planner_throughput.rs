@@ -9,6 +9,7 @@
 //! path on a dense graph returns a `[~0, ~1]` envelope and fails that bar.
 
 use netrel_bench::{fmt_secs, maybe_dump_json, parse_args, time};
+use netrel_core::SemanticsSpec;
 use netrel_datasets::{clique, Dataset};
 use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery, ReliabilityQuery, Route};
 use netrel_s2bdd::S2BddConfig;
@@ -18,6 +19,7 @@ use serde::Serialize;
 #[derive(Clone, Debug, Serialize)]
 struct Row {
     workload: String,
+    semantics: String,
     vertices: usize,
     edges: usize,
     queries: usize,
@@ -45,13 +47,45 @@ fn main() {
 
     let tokyo = Dataset::Tokyo.generate(args.scale, args.seed);
     let tokyo_pairs = netrel_bench::overlapping_terminal_pairs(&tokyo, 10, args.seed);
-    let workloads: Vec<(String, UncertainGraph, Vec<Vec<usize>>)> = vec![
+    // Four-terminal "city block" sets: the generator lays vertices out
+    // row-major on a ~√n × √n grid, so `v`, `v+1`, `v+side`, `v+side+1`
+    // form a unit square of nearby (hence non-vanishing) terminals.
+    let side = (tokyo.num_vertices() as f64).sqrt() as usize;
+    let tokyo_quads: Vec<Vec<usize>> = (0..10)
+        .map(|i| {
+            let v = i * (side + 1);
+            vec![v, v + 1, v + side, v + side + 1]
+        })
+        .collect();
+    let dense_pairs: Vec<Vec<usize>> = (0..20).map(|i| vec![i % 20, 30 + (i * 7) % 25]).collect();
+    let workloads: Vec<(String, UncertainGraph, SemanticsSpec, Vec<Vec<usize>>)> = vec![
         (
             "clique55-dense".into(),
             clique(55),
-            (0..20).map(|i| vec![i % 20, 30 + (i * 7) % 25]).collect(),
+            SemanticsSpec::KTerminal,
+            dense_pairs.clone(),
         ),
-        ("tokyo-sparse".into(), tokyo, tokyo_pairs),
+        // Same dense pairs under the hop bound: nothing is prunable at
+        // d = 2 on a clique, so every part exceeds the exact-enumeration
+        // limit and the planner must route to hop-bounded sampling.
+        (
+            "clique55-dhop".into(),
+            clique(55),
+            SemanticsSpec::DHop { d: 2 },
+            dense_pairs,
+        ),
+        (
+            "tokyo-sparse".into(),
+            tokyo.clone(),
+            SemanticsSpec::KTerminal,
+            tokyo_pairs,
+        ),
+        (
+            "tokyo-kterminal".into(),
+            tokyo,
+            SemanticsSpec::KTerminal,
+            tokyo_quads,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -59,7 +93,7 @@ fn main() {
         "{:<16} {:>7} {:>9} {:>9} {:>7} {:>7} {:>9} {:>22}",
         "workload", "queries", "exact", "planner", "ex done", "pl done", "qps", "routes (e/b/s)"
     );
-    for (workload, g, terminal_sets) in workloads {
+    for (workload, g, spec, terminal_sets) in workloads {
         let n_queries = terminal_sets.len();
         let mut engine = Engine::new(EngineConfig::sequential());
         let id = engine.register(workload.clone(), g.clone());
@@ -68,7 +102,8 @@ fn main() {
         let exact_queries: Vec<ReliabilityQuery> = terminal_sets
             .iter()
             .map(|t| {
-                ReliabilityQuery::with_config(
+                ReliabilityQuery::with_semantics(
+                    spec,
                     t.clone(),
                     netrel_core::ProConfig {
                         s2bdd: S2BddConfig {
@@ -95,7 +130,14 @@ fn main() {
         engine.clear_cache();
         let planned: Vec<PlannedQuery> = terminal_sets
             .iter()
-            .map(|t| PlannedQuery::new(t.clone(), budget))
+            .map(|t| {
+                PlannedQuery::with_semantics(
+                    spec,
+                    t.clone(),
+                    netrel_core::ProConfig::default(),
+                    budget,
+                )
+            })
             .collect();
         let (answers, planner_secs) = time(|| engine.run_planned_batch(id, &planned).unwrap());
 
@@ -118,6 +160,7 @@ fn main() {
 
         let row = Row {
             workload: workload.clone(),
+            semantics: spec.name().into(),
             vertices: g.num_vertices(),
             edges: g.num_edges(),
             queries: n_queries,

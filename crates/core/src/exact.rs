@@ -6,7 +6,8 @@
 //! enumerator from `netrel-bdd` remains available as an independent oracle.
 
 use crate::pro::{pro_reliability, ProConfig};
-use netrel_preprocess::PreprocessConfig;
+use crate::semantics::{exact_semantics_part, SemanticsSpec};
+use netrel_preprocess::{GraphIndex, PreprocessConfig};
 use netrel_s2bdd::S2BddConfig;
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 
@@ -23,6 +24,30 @@ pub fn exact_reliability(g: &UncertainGraph, terminals: &[VertexId]) -> Result<f
     };
     let r = pro_reliability(g, terminals, cfg)?;
     debug_assert!(r.exact, "unbounded-width S2BDD must be exact");
+    Ok(r.estimate)
+}
+
+/// Exact value of *any* [`SemanticsSpec`] on `(g, terminals)`: plan with
+/// the semantics' preprocessing, then solve every part with its exact
+/// solver — unbounded-width S2BDD for connectivity parts, full recursive
+/// conditioning for d-hop parts (no
+/// [`DHOP_EXACT_EDGE_LIMIT`](crate::DHOP_EXACT_EDGE_LIMIT) fallback, so
+/// d-hop cost is `O(2^|E|)` worst case on the *pruned* part).
+pub fn exact_semantics_value(
+    g: &UncertainGraph,
+    spec: SemanticsSpec,
+    terminals: &[VertexId],
+) -> Result<f64, GraphError> {
+    let sem = spec.semantics();
+    let index = GraphIndex::build(g);
+    let plan = sem.plan(g, &index, terminals, PreprocessConfig::default())?;
+    let solved = plan
+        .parts
+        .iter()
+        .map(exact_semantics_part)
+        .collect::<Result<Vec<_>, _>>()?;
+    let r = sem.combine(&plan, solved);
+    debug_assert!(r.exact, "exact part solvers must yield an exact combine");
     Ok(r.estimate)
 }
 

@@ -14,6 +14,12 @@
 //! * [`exact`] — exact reliability via the unbounded S2BDD (small graphs) or
 //!   brute-force enumeration (tiny graphs).
 //!
+//! Beyond k-terminal connectivity, the [`semantics`] module makes the
+//! decompose-then-combine pipeline generic over *what* a query computes:
+//! strict two-terminal, k-terminal, all-terminal, distance-constrained
+//! ([`dhop`]) reliability, and expected reachable-set size, each validated
+//! against the exhaustive possible-world [`oracle`].
+//!
 //! ```
 //! use netrel_core::prelude::*;
 //!
@@ -28,11 +34,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod dhop;
 pub mod exact;
+pub mod oracle;
 pub mod pro;
 pub mod sampling;
+pub mod semantics;
 
-pub use exact::exact_reliability;
+pub use dhop::{dhop_exact_reliability, sample_dhop_reliability, DHOP_EXACT_EDGE_LIMIT};
+pub use exact::{exact_reliability, exact_semantics_value};
+pub use oracle::{oracle_value, ORACLE_EDGE_LIMIT};
 pub use pro::{
     combine_part_results, part_s2bdd_config, pro_reliability, pro_reliability_with_index,
     st_reliability, zero_pro_result, ProConfig, ProResult,
@@ -40,12 +51,18 @@ pub use pro::{
 pub use sampling::{
     sample_part_result, sample_reliability, SamplingConfig, SamplingResult, RNG_STREAMS,
 };
+pub use semantics::{
+    combine_semantics_plan, exact_semantics_part, sample_semantics_part, semantics_reliability,
+    semantics_reliability_with_index, solve_semantics_part, PartComputation, PartGroup, SemPart,
+    Semantics, SemanticsPlan, SemanticsSpec,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::exact::exact_reliability;
     pub use crate::pro::{pro_reliability, st_reliability, ProConfig, ProResult};
     pub use crate::sampling::{sample_reliability, SamplingConfig, SamplingResult};
+    pub use crate::semantics::{semantics_reliability, Semantics, SemanticsSpec};
     pub use netrel_preprocess::{preprocess, PreprocessConfig};
     pub use netrel_s2bdd::{EstimatorKind, S2Bdd, S2BddConfig, S2BddResult};
     pub use netrel_ugraph::{GraphError, UncertainGraph};

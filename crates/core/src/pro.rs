@@ -5,10 +5,8 @@
 //! `R̂[G, T] = p_b · Π_i R̂[G_i, T_i]`. Besides the speedup from smaller
 //! graphs, decomposition provably lowers the estimator variance (Theorem 4).
 
-use netrel_preprocess::{
-    preprocess_with_index, GraphIndex, PreprocessConfig, PreprocessStats, Preprocessed,
-};
-use netrel_s2bdd::{S2Bdd, S2BddConfig, S2BddResult};
+use netrel_preprocess::{GraphIndex, PreprocessConfig, PreprocessStats};
+use netrel_s2bdd::{S2BddConfig, S2BddResult};
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 
 /// Configuration of the full approach.
@@ -168,57 +166,27 @@ pub fn pro_reliability(
 /// [`GraphIndex`] of `g` (see `netrel-preprocess`). Behavior and draws are
 /// identical to [`pro_reliability`]; the index only removes per-call
 /// recomputation of terminal-independent structure.
+///
+/// Since the semantics refactor this is the k-terminal instantiation of the
+/// generic pipeline
+/// ([`semantics_reliability_with_index`](crate::semantics_reliability_with_index)):
+/// the k-terminal plan is a single group over the preprocessed parts and its
+/// combine step delegates to [`combine_part_results`] verbatim, so routing
+/// through the trait boundary is bit-identical to the historical one-shot
+/// implementation (pinned by `tests/semantics_contract.rs`).
 pub fn pro_reliability_with_index(
     g: &UncertainGraph,
     index: &GraphIndex,
     terminals: &[VertexId],
     cfg: ProConfig,
 ) -> Result<ProResult, GraphError> {
-    let pre = preprocess_with_index(g, index, terminals, cfg.preprocess)?;
-    if pre.trivially_zero {
-        return Ok(zero_pro_result(pre.stats));
-    }
-    let solved = solve_parts(&pre, &cfg)?;
-    Ok(combine_part_results(pre.pb, pre.stats, solved))
-}
-
-/// Solve every part of a preprocessed instance, sequentially or on scoped
-/// worker threads (`cfg.parallel_parts`). Seeds are derived per part index
-/// ([`part_s2bdd_config`]), so both paths produce bit-identical results.
-fn solve_parts(pre: &Preprocessed, cfg: &ProConfig) -> Result<Vec<S2BddResult>, GraphError> {
-    if cfg.parallel_parts && pre.parts.len() > 1 {
-        let results: Vec<Result<S2BddResult, GraphError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pre
-                .parts
-                .iter()
-                .enumerate()
-                .map(|(i, part)| {
-                    scope.spawn(move || {
-                        S2Bdd::solve(
-                            &part.graph,
-                            &part.terminals,
-                            part_s2bdd_config(cfg.s2bdd, i),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("part solver panicked"))
-                .collect()
-        });
-        results.into_iter().collect::<Result<Vec<_>, _>>()
-    } else {
-        let mut out = Vec::with_capacity(pre.parts.len());
-        for (i, part) in pre.parts.iter().enumerate() {
-            out.push(S2Bdd::solve(
-                &part.graph,
-                &part.terminals,
-                part_s2bdd_config(cfg.s2bdd, i),
-            )?);
-        }
-        Ok(out)
-    }
+    crate::semantics::semantics_reliability_with_index(
+        g,
+        index,
+        crate::semantics::SemanticsSpec::KTerminal,
+        terminals,
+        cfg,
+    )
 }
 
 /// Two-terminal (s–t) reliability — the classical special case (`k = 2`,

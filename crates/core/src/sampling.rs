@@ -95,10 +95,45 @@ pub fn sample_reliability(
             variance_estimate: 0.0,
         });
     }
-    // Fixed logical partition: stream `i` always draws `stream_share(i)`
-    // samples from its own RNG, no matter which thread runs it. Worker
-    // threads pick up streams round-robin, so the draw sequence — and the
-    // result — is a pure function of `(samples, estimator, seed)`.
+    let t = &t;
+    Ok(estimate_indicator(
+        cfg,
+        |share, mut rng| {
+            let mut sampler = WorldSampler::new(g.num_vertices());
+            (0..share)
+                .filter(|_| sampler.sample_connected(g, t, &mut rng))
+                .count()
+        },
+        |share, mut rng| {
+            let mut sampler = WorldSampler::new(g.num_vertices());
+            (0..share)
+                .map(|_| sampler.sample_world_full(g, t, &mut rng))
+                .collect::<Vec<_>>()
+        },
+    ))
+}
+
+/// Shared flat-sampling driver: partition `cfg.samples` over the fixed
+/// [`RNG_STREAMS`] logical streams, run one of the per-stream closures per
+/// stream (`mc_stream` returns the stream's hit count, `ht_stream` its
+/// `(indicator, ln Pr, hash)` world records), and fold the streams with the
+/// configured estimator.
+///
+/// Every indicator-style sampler in the crate (terminal connectivity,
+/// hop-bounded reachability) funnels through this function, so they all
+/// share the seed-stability contract: stream `i` always draws
+/// `stream_share(i)` samples from `StdRng(seed ⊕ i·golden)` no matter which
+/// worker thread runs it, making the result a pure function of
+/// `(samples, estimator, seed)` — never of `threads`.
+pub(crate) fn estimate_indicator<M, H>(
+    cfg: SamplingConfig,
+    mc_stream: M,
+    ht_stream: H,
+) -> SamplingResult
+where
+    M: Fn(usize, StdRng) -> usize + Sync,
+    H: Fn(usize, StdRng) -> Vec<(bool, f64, u64)> + Sync,
+{
     let streams = RNG_STREAMS.min(cfg.samples.max(1));
     let stream_share = |i: usize| cfg.samples * (i + 1) / streams - cfg.samples * i / streams;
     let stream_rng =
@@ -114,33 +149,23 @@ pub fn sample_reliability(
 
     match cfg.estimator {
         EstimatorKind::MonteCarlo => {
-            let t = &t;
             let hits: usize = run_streams(streams, threads, |i| {
-                let mut sampler = WorldSampler::new(g.num_vertices());
-                let mut rng = stream_rng(i);
-                (0..stream_share(i))
-                    .filter(|_| sampler.sample_connected(g, t, &mut rng))
-                    .count()
+                mc_stream(stream_share(i), stream_rng(i))
             })
             .into_iter()
             .sum();
             let s = cfg.samples.max(1) as f64;
             let estimate = hits as f64 / s;
-            Ok(SamplingResult {
+            SamplingResult {
                 estimate,
                 samples: cfg.samples,
                 hits,
                 variance_estimate: estimate * (1.0 - estimate) / s,
-            })
+            }
         }
         EstimatorKind::HorvitzThompson => {
-            let t = &t;
             let records: Vec<(bool, f64, u64)> = run_streams(streams, threads, |i| {
-                let mut sampler = WorldSampler::new(g.num_vertices());
-                let mut rng = stream_rng(i);
-                (0..stream_share(i))
-                    .map(|_| sampler.sample_world_full(g, t, &mut rng))
-                    .collect::<Vec<_>>()
+                ht_stream(stream_share(i), stream_rng(i))
             })
             .into_iter()
             .flatten()
@@ -161,12 +186,12 @@ pub fn sample_reliability(
             let estimate = estimate.clamp(0.0, 1.0);
             // Paper Eq. 8: R(1-R)/s − Σ (s−1) I Pr² / (2s).
             let variance = (estimate * (1.0 - estimate) / s - var_correction).max(0.0);
-            Ok(SamplingResult {
+            SamplingResult {
                 estimate,
                 samples: cfg.samples,
                 hits,
                 variance_estimate: variance,
-            })
+            }
         }
     }
 }

@@ -9,17 +9,22 @@
 //! more often than caching whole answers would.
 //!
 //! Keys are **full structural keys**, not hashes: the part's edge list
-//! (endpoints + probability bits), its terminal set, and the complete
-//! solver discriminant — a [`PartSolver`] naming the solver family *and*
-//! its full configuration (for S2BDD runs the complete [`S2BddConfig`],
-//! per-part seed included; for flat sampling the sample count, estimator,
-//! and seed). Two subproblems alias only if every one of those is
-//! identical — in which case the solver is deterministic and the cached
-//! result *is* the result. A config change (width, samples, seed,
-//! estimator, order, merge rule, node cap, …) always changes the key, and
-//! a planner-routed sampling run can never alias an S2BDD run.
+//! (endpoints + probability bits), its terminal set, the
+//! [`PartComputation`] the part answers (a connectivity part and a d-hop
+//! part over the same subgraph are different subproblems, as are two d-hop
+//! parts with different hop bounds), and the complete solver
+//! discriminant — a [`PartSolver`] naming the solver family *and* its full
+//! configuration (for S2BDD runs the complete [`S2BddConfig`], per-part
+//! seed included; for flat sampling the sample count, estimator, and
+//! seed). Two subproblems alias only if every one of those is identical —
+//! in which case the solver is deterministic and the cached result *is*
+//! the result. A config change (width, samples, seed, estimator, order,
+//! merge rule, node cap, …) always changes the key, a planner-routed
+//! sampling run can never alias an S2BDD run, and no semantics variant can
+//! ever alias a cached two-terminal (connectivity) plan.
 
 use crate::planner::PartSolver;
+use netrel_core::{PartComputation, SemPart};
 use netrel_s2bdd::{S2BddConfig, S2BddResult};
 use netrel_ugraph::{UncertainGraph, VertexId};
 use std::collections::HashMap;
@@ -35,20 +40,42 @@ pub struct PlanKey {
     edges: Box<[(u32, u32, u64)]>,
     /// Sorted terminal ids within the part.
     terminals: Box<[u32]>,
+    /// What the part computes — the semantics discriminant. A d-hop part
+    /// over the same `(edges, terminals)` is a different subproblem than a
+    /// connectivity part, and distinct hop bounds are distinct subproblems;
+    /// keying on the computation means semantics variants can never alias
+    /// each other's cached results.
+    computation: PartComputation,
     /// The solver-family discriminant plus its exact configuration.
     solver: PartSolver,
 }
 
 impl PlanKey {
-    /// Build the key for one S2BDD solve of `(graph, terminals)` under
-    /// `config` (the classic, non-planned engine path).
+    /// Build the key for one S2BDD solve of a connectivity part
+    /// `(graph, terminals)` under `config` (the classic, non-planned engine
+    /// path).
     pub fn new(graph: &UncertainGraph, terminals: &[VertexId], config: S2BddConfig) -> Self {
         Self::for_solver(graph, terminals, PartSolver::S2Bdd(config))
     }
 
-    /// Build the key for solving `(graph, terminals)` with an arbitrary
-    /// routed [`PartSolver`].
+    /// Build the key for solving a connectivity part `(graph, terminals)`
+    /// with an arbitrary routed [`PartSolver`].
     pub fn for_solver(graph: &UncertainGraph, terminals: &[VertexId], solver: PartSolver) -> Self {
+        Self::build(graph, terminals, PartComputation::Connectivity, solver)
+    }
+
+    /// Build the key for solving a semantics [`SemPart`] (which carries its
+    /// own [`PartComputation`]) with `solver`.
+    pub fn for_part(part: &SemPart, solver: PartSolver) -> Self {
+        Self::build(&part.graph, &part.terminals, part.computation, solver)
+    }
+
+    fn build(
+        graph: &UncertainGraph,
+        terminals: &[VertexId],
+        computation: PartComputation,
+        solver: PartSolver,
+    ) -> Self {
         let edges: Box<[(u32, u32, u64)]> = graph
             .edges()
             .iter()
@@ -59,6 +86,7 @@ impl PlanKey {
         PlanKey {
             edges,
             terminals,
+            computation,
             solver,
         }
     }
@@ -331,6 +359,92 @@ mod tests {
         let mut c = PlanCache::new(8);
         c.insert(s2bdd_key, result(0.5));
         assert!(c.get(&sampling_key).is_none());
+    }
+
+    #[test]
+    fn semantics_computation_never_aliases_connectivity() {
+        // The same subgraph + terminals + solver, asked as a d-hop part,
+        // must never serve (or be served by) a cached connectivity part.
+        let (g, t) = part(1);
+        let cfg = S2BddConfig::default();
+        let solver = PartSolver::S2Bdd(cfg);
+        let connectivity = PlanKey::new(&g, &t, cfg);
+        let as_part = PlanKey::for_part(
+            &SemPart {
+                graph: g.clone(),
+                terminals: t.clone(),
+                computation: PartComputation::Connectivity,
+            },
+            solver,
+        );
+        // for_part with Connectivity is the same subproblem → same key.
+        assert_eq!(connectivity, as_part);
+        let dhop = PlanKey::for_part(
+            &SemPart {
+                graph: g.clone(),
+                terminals: t.clone(),
+                computation: PartComputation::DHop { d: 2 },
+            },
+            solver,
+        );
+        assert_ne!(connectivity, dhop);
+        let mut c = PlanCache::new(8);
+        c.insert(connectivity.clone(), result(0.5));
+        assert!(c.get(&dhop).is_none(), "d-hop aliased a connectivity entry");
+        assert!(c.get(&connectivity).is_some());
+    }
+
+    #[test]
+    fn distinct_hop_bounds_are_distinct_keys() {
+        let (g, t) = part(1);
+        let solver = PartSolver::Sampling {
+            samples: 1000,
+            estimator: netrel_s2bdd::EstimatorKind::MonteCarlo,
+            seed: 7,
+        };
+        let mk = |d| {
+            PlanKey::for_part(
+                &SemPart {
+                    graph: g.clone(),
+                    terminals: t.clone(),
+                    computation: PartComputation::DHop { d },
+                },
+                solver,
+            )
+        };
+        assert_ne!(mk(1), mk(2));
+        let mut c = PlanCache::new(8);
+        c.insert(mk(1), result(0.25));
+        assert!(c.get(&mk(2)).is_none(), "d=2 aliased a d=1 entry");
+        assert!(c.get(&mk(1)).is_some());
+    }
+
+    #[test]
+    fn distinct_terminal_sets_on_same_part_graph_are_distinct_keys() {
+        let g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 0, 0.5)]).unwrap();
+        let solver = PartSolver::S2Bdd(S2BddConfig::default());
+        let mk = |t: Vec<VertexId>| {
+            PlanKey::for_part(
+                &SemPart {
+                    graph: g.clone(),
+                    terminals: t,
+                    computation: PartComputation::Connectivity,
+                },
+                solver,
+            )
+        };
+        // k-terminal variants of the same subgraph never alias each other
+        // or the two-terminal key.
+        let two = mk(vec![0, 2]);
+        let three = mk(vec![0, 1, 2]);
+        let four = mk(vec![0, 1, 2, 3]);
+        assert_ne!(two, three);
+        assert_ne!(three, four);
+        let mut c = PlanCache::new(8);
+        c.insert(two.clone(), result(0.5));
+        assert!(c.get(&three).is_none());
+        assert!(c.get(&four).is_none());
     }
 
     #[test]

@@ -2,31 +2,37 @@
 //!
 //! The paper computes one `R[G, T]` per invocation; every real workload in
 //! the surrounding literature is *many queries against one uncertain graph*
-//! (s-t benchmark suites issue thousands of terminal pairs, reliability
+//! (benchmark suites issue thousands of terminal sets, reliability
 //! maximization re-evaluates `R` under small perturbations in an inner
 //! loop). This crate answers batches of [`ReliabilityQuery`] values against
 //! registered graphs through a three-stage pipeline:
 //!
-//! 1. **Shared preprocessing** — the terminal-independent structure
-//!    (bridges, 2ECC labelling, bridge forest: `netrel_preprocess::GraphIndex`)
-//!    is computed once at [`Engine::register`] time and reused by every
-//!    query; only the terminal-dependent Steiner/decompose/transform step
-//!    runs per query.
+//! 1. **Semantics planning** — each query names a reliability semantics
+//!    ([`SemanticsSpec`]: k-terminal,
+//!    two-terminal, all-terminal, d-hop, expected reachable-set size) that
+//!    decomposes `(G, T)` into parts. The terminal-independent structure
+//!    (bridges, 2ECC labelling, bridge forest:
+//!    `netrel_preprocess::GraphIndex`) is computed once at
+//!    [`Engine::register`] time and reused by every query; only the
+//!    terminal-dependent decompose step runs per query.
 //! 2. **Plan cache** — each decomposed part is keyed by its canonical
-//!    structure, terminal set, and full solver config ([`PlanKey`]); results
-//!    are LRU-cached so repeated and overlapping queries skip the S2BDD
-//!    solve entirely. Identical parts *within* one batch are also deduped
-//!    and solved once.
+//!    structure, terminal set, part computation (connectivity vs. hop
+//!    bound), and full solver config ([`PlanKey`]); results are LRU-cached
+//!    so repeated and overlapping queries skip the solve entirely.
+//!    Identical parts *within* one batch are also deduped and solved once.
 //! 3. **Parallel executor** — remaining part jobs run on scoped worker
 //!    threads with deterministic seeds and deterministic reassembly:
-//!    answers are bit-identical to one-shot
-//!    [`pro_reliability`](netrel_core::pro_reliability), sequential or not.
+//!    answers are bit-identical to the one-shot
+//!    [`semantics_reliability`](netrel_core::semantics_reliability) (and
+//!    hence, for k-terminal queries, to
+//!    [`pro_reliability`](netrel_core::pro_reliability)), sequential or not.
 //!
 //! For graphs the exact path cannot finish, the **adaptive planner**
 //! ([`planner`], [`Engine::run_planned_batch`]) routes each part to exact
-//! S2BDD, width-bounded S2BDD, or flat sampling under a per-query
-//! [`PlanBudget`], returning [`ReliabilityAnswer`] values that carry
-//! exactness status and a confidence interval (`DESIGN.md` §9 is the
+//! S2BDD, width-bounded S2BDD, exact hop-bounded enumeration, or flat
+//! sampling under a per-query [`PlanBudget`], returning
+//! [`ReliabilityAnswer`] values that carry the semantics they answered,
+//! exactness status, and a confidence interval (`DESIGN.md` §9 is the
 //! accuracy contract).
 //!
 //! ```
@@ -54,12 +60,13 @@ pub mod planner;
 pub mod service;
 
 use netrel_core::{
-    combine_part_results, part_s2bdd_config, sample_part_result, zero_pro_result, ProConfig,
-    ProResult, SamplingConfig,
+    combine_semantics_plan, exact_semantics_part, part_s2bdd_config, sample_semantics_part,
+    solve_semantics_part, PartComputation, ProConfig, ProResult, SamplingConfig, SemPart,
+    SemanticsPlan, SemanticsSpec, DHOP_EXACT_EDGE_LIMIT,
 };
 use netrel_numeric::{normal_ci, ConfidenceInterval};
-use netrel_preprocess::{preprocess_with_index, GraphIndex, Preprocessed};
-use netrel_s2bdd::{S2Bdd, S2BddResult};
+use netrel_preprocess::GraphIndex;
+use netrel_s2bdd::{S2BddConfig, S2BddResult};
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -101,10 +108,15 @@ impl EngineConfig {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GraphId(usize);
 
-/// One reliability query: a terminal set plus the full `Pro` configuration.
+/// One reliability query: a semantics, a terminal set, and the full `Pro`
+/// configuration.
 #[derive(Clone, Debug)]
 pub struct ReliabilityQuery {
-    /// Terminal vertices (`R[G, T]` asks for all of them to connect).
+    /// What the query computes (defaults to k-terminal connectivity).
+    pub semantics: SemanticsSpec,
+    /// Terminal vertices, interpreted per the semantics (connect-all for
+    /// k-terminal, `(s, t)` for two-terminal/d-hop, the source for
+    /// reach-set; ignored by all-terminal).
     pub terminals: Vec<VertexId>,
     /// Solver configuration. `config.parallel_parts` is ignored: the engine
     /// schedules parts across the whole batch itself.
@@ -112,17 +124,35 @@ pub struct ReliabilityQuery {
 }
 
 impl ReliabilityQuery {
-    /// A query with the default `Pro` configuration.
+    /// A k-terminal query with the default `Pro` configuration.
     pub fn new(terminals: Vec<VertexId>) -> Self {
         ReliabilityQuery {
+            semantics: SemanticsSpec::default(),
             terminals,
             config: ProConfig::default(),
         }
     }
 
-    /// A query with an explicit configuration.
+    /// A k-terminal query with an explicit configuration.
     pub fn with_config(terminals: Vec<VertexId>, config: ProConfig) -> Self {
-        ReliabilityQuery { terminals, config }
+        ReliabilityQuery {
+            semantics: SemanticsSpec::default(),
+            terminals,
+            config,
+        }
+    }
+
+    /// A query under an explicit semantics.
+    pub fn with_semantics(
+        semantics: SemanticsSpec,
+        terminals: Vec<VertexId>,
+        config: ProConfig,
+    ) -> Self {
+        ReliabilityQuery {
+            semantics,
+            terminals,
+            config,
+        }
     }
 }
 
@@ -134,7 +164,10 @@ impl ReliabilityQuery {
 /// cost model; the estimator, edge order, merge rule, and seed are honored.
 #[derive(Clone, Debug)]
 pub struct PlannedQuery {
-    /// Terminal vertices (`R[G, T]` asks for all of them to connect).
+    /// What the query computes (defaults to k-terminal connectivity).
+    pub semantics: SemanticsSpec,
+    /// Terminal vertices, interpreted per the semantics (see
+    /// [`ReliabilityQuery::terminals`]).
     pub terminals: Vec<VertexId>,
     /// Base solver configuration (seed, estimator, order, merge rule).
     pub config: ProConfig,
@@ -143,18 +176,35 @@ pub struct PlannedQuery {
 }
 
 impl PlannedQuery {
-    /// A planned query with the default `Pro` base configuration.
+    /// A planned k-terminal query with the default `Pro` base configuration.
     pub fn new(terminals: Vec<VertexId>, budget: PlanBudget) -> Self {
         PlannedQuery {
+            semantics: SemanticsSpec::default(),
             terminals,
             config: ProConfig::default(),
             budget,
         }
     }
 
-    /// A planned query with an explicit base configuration.
+    /// A planned k-terminal query with an explicit base configuration.
     pub fn with_config(terminals: Vec<VertexId>, config: ProConfig, budget: PlanBudget) -> Self {
         PlannedQuery {
+            semantics: SemanticsSpec::default(),
+            terminals,
+            config,
+            budget,
+        }
+    }
+
+    /// A planned query under an explicit semantics.
+    pub fn with_semantics(
+        semantics: SemanticsSpec,
+        terminals: Vec<VertexId>,
+        config: ProConfig,
+        budget: PlanBudget,
+    ) -> Self {
+        PlannedQuery {
+            semantics,
             terminals,
             config,
             budget,
@@ -192,7 +242,10 @@ impl From<GraphError> for EngineError {
 /// serializable for the JSON service.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct QueryAnswer {
-    /// Estimated reliability `R̂[G, T]`.
+    /// The semantics this answer computed.
+    pub semantics: SemanticsSpec,
+    /// Estimated value `R̂[G, T]` under the semantics (a probability for
+    /// all connectivity variants, an expected count for reach-set).
     pub estimate: f64,
     /// Proven lower bound.
     pub lower_bound: f64,
@@ -220,8 +273,14 @@ pub struct QueryAnswer {
 }
 
 impl QueryAnswer {
-    fn from_pro(r: ProResult, cache_hits: usize, cache_misses: usize) -> Self {
+    fn from_pro(
+        semantics: SemanticsSpec,
+        r: ProResult,
+        cache_hits: usize,
+        cache_misses: usize,
+    ) -> Self {
         QueryAnswer {
+            semantics,
             estimate: r.estimate,
             lower_bound: r.lower_bound,
             upper_bound: r.upper_bound,
@@ -251,10 +310,13 @@ impl QueryAnswer {
 ///   product-estimator variance (paper Theorem 4 composition), widened by
 ///   the rule-of-three envelope `3/s` when the sample variance degenerates
 ///   to zero (so an estimated answer never claims certainty), intersected
-///   with the proven bounds.
+///   with the proven bounds. The interval lives in the semantics' value
+///   range (`[0, 1]` for probabilities, `[0, |V|]` for reach-set).
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct ReliabilityAnswer {
-    /// Estimated (or exact) reliability `R̂[G, T]`.
+    /// The semantics this answer computed.
+    pub semantics: SemanticsSpec,
+    /// Estimated (or exact) value `R̂[G, T]` under the semantics.
     pub estimate: f64,
     /// Proven lower bound (product of per-part proven lower bounds × `p_b`).
     pub lower_bound: f64,
@@ -285,16 +347,40 @@ pub struct ReliabilityAnswer {
 
 impl ReliabilityAnswer {
     fn from_pro(
+        semantics: SemanticsSpec,
         r: ProResult,
         routes: Vec<Route>,
         budget: &PlanBudget,
+        value_cap: f64,
         hits: usize,
         misses: usize,
     ) -> Self {
+        // `value_cap` is the semantics' `value_upper`: 1 for probabilities,
+        // `|V|` for reach-set. The probability path goes through `normal_ci`
+        // unchanged so k-terminal answers stay bit-identical to the
+        // pre-semantics engine.
         let ci = if r.exact {
-            ConfidenceInterval::exact(r.estimate, budget.confidence)
+            ConfidenceInterval {
+                lower: r.estimate.clamp(0.0, value_cap),
+                upper: r.estimate.clamp(0.0, value_cap),
+                level: budget.confidence,
+            }
         } else {
-            let mut ci = normal_ci(r.estimate, r.variance_estimate, budget.confidence);
+            let mut ci = if value_cap <= 1.0 {
+                normal_ci(r.estimate, r.variance_estimate, budget.confidence)
+            } else {
+                let sd = if r.variance_estimate.is_finite() && r.variance_estimate > 0.0 {
+                    r.variance_estimate.sqrt()
+                } else {
+                    0.0
+                };
+                let half = budget.confidence.z() * sd;
+                ConfidenceInterval {
+                    lower: (r.estimate - half).clamp(0.0, value_cap),
+                    upper: (r.estimate + half).clamp(0.0, value_cap),
+                    level: budget.confidence,
+                }
+            };
             // Degenerate-variance guard, applied per part: a sampled part
             // whose draws all agreed (all hits or all misses) reports Wald
             // variance 0 and would enter the Theorem-4 product as a
@@ -312,11 +398,12 @@ impl ReliabilityAnswer {
                 .sum();
             if slack > 0.0 {
                 ci.lower = (ci.lower - slack).max(0.0);
-                ci.upper = (ci.upper + slack).min(1.0);
+                ci.upper = (ci.upper + slack).min(value_cap);
             }
             ci.clamp_to(r.lower_bound, r.upper_bound)
         };
         ReliabilityAnswer {
+            semantics,
             estimate: r.estimate,
             lower_bound: r.lower_bound,
             upper_bound: r.upper_bound,
@@ -356,10 +443,11 @@ enum PartSource {
 }
 
 struct PreparedQuery {
-    pre: Preprocessed,
-    /// One materialized solver per part (the classic path wraps
-    /// `part_s2bdd_config` in [`PartSolver::S2Bdd`]; the planned path
-    /// routes through the cost model).
+    /// The semantics' decomposition of the query (parts, groups, offset).
+    plan: SemanticsPlan,
+    /// One materialized solver per part (the classic path mirrors
+    /// `solve_semantics_part`'s dispatch; the planned path routes through
+    /// the cost model).
     solvers: Vec<PartSolver>,
     /// Route per part — empty on the classic path.
     routes: Vec<Route>,
@@ -378,6 +466,29 @@ struct Assembled {
     routes: Vec<Route>,
     cache_hits: usize,
     cache_misses: usize,
+}
+
+/// Materialize the classic-path (non-planned) solver for one part,
+/// mirroring `solve_semantics_part`'s dispatch exactly so engine answers
+/// stay bit-identical to the one-shot pipeline: the configured S2BDD for
+/// connectivity parts; for d-hop parts, exact enumeration up to
+/// [`DHOP_EXACT_EDGE_LIMIT`] edges and hop-bounded sampling (same sample
+/// budget, estimator, and per-part seed) beyond. Making the split explicit
+/// here — rather than hiding it inside an opaque `S2Bdd` solver — keeps the
+/// [`PlanKey`] honest about what actually ran.
+fn classic_solver(part: &SemPart, base: S2BddConfig, part_index: usize) -> PartSolver {
+    let cfg = part_s2bdd_config(base, part_index);
+    match part.computation {
+        PartComputation::Connectivity => PartSolver::S2Bdd(cfg),
+        PartComputation::DHop { .. } if part.graph.num_edges() <= DHOP_EXACT_EDGE_LIMIT => {
+            PartSolver::Enumeration
+        }
+        PartComputation::DHop { .. } => PartSolver::Sampling {
+            samples: cfg.samples,
+            estimator: cfg.estimator,
+            seed: cfg.seed,
+        },
+    }
 }
 
 impl Engine {
@@ -430,9 +541,11 @@ impl Engine {
     /// The outer `Result` fails only for an unknown [`GraphId`]; per-query
     /// failures (e.g. out-of-range terminals) come back in their slot so one
     /// bad query cannot poison a batch. Answers are bit-identical to calling
-    /// [`pro_reliability`](netrel_core::pro_reliability) per query with the
-    /// same configuration, independent of batch composition, cache state,
-    /// and worker count.
+    /// [`semantics_reliability`](netrel_core::semantics_reliability) — and
+    /// so, for the default k-terminal semantics,
+    /// [`pro_reliability`](netrel_core::pro_reliability) — per query with
+    /// the same configuration, independent of batch composition, cache
+    /// state, and worker count.
     ///
     /// ```
     /// use netrel_engine::{Engine, EngineConfig, ReliabilityQuery};
@@ -456,25 +569,35 @@ impl Engine {
     ) -> Result<Vec<Result<QueryAnswer, EngineError>>, EngineError> {
         let rg = self.registered(id)?;
 
-        // Stage 1 (classic): terminal-dependent preprocessing per query (the
+        // Stage 1 (classic): semantics planning per query (the
         // terminal-independent structure is shared via `rg.index`); every
-        // part is solved by the configured S2BDD with its per-part seed.
+        // part is solved by the deterministic route with its per-part seed.
         let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
             .iter()
             .map(|q| {
-                let pre =
-                    preprocess_with_index(&rg.graph, &rg.index, &q.terminals, q.config.preprocess)?;
-                let solvers: Vec<PartSolver> = (0..pre.parts.len())
-                    .map(|pi| PartSolver::S2Bdd(part_s2bdd_config(q.config.s2bdd, pi)))
+                let plan = q.semantics.semantics().plan(
+                    &rg.graph,
+                    &rg.index,
+                    &q.terminals,
+                    q.config.preprocess,
+                )?;
+                let solvers: Vec<PartSolver> = plan
+                    .parts
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, part)| classic_solver(part, q.config.s2bdd, pi))
                     .collect();
-                Ok(Self::prepared(pre, solvers, Vec::new()))
+                Ok(Self::prepared(plan, solvers, Vec::new()))
             })
             .collect();
 
         let answers = self
             .execute(prepared)
             .into_iter()
-            .map(|a| a.map(|a| QueryAnswer::from_pro(a.pro, a.cache_hits, a.cache_misses)))
+            .zip(queries)
+            .map(|(a, q)| {
+                a.map(|a| QueryAnswer::from_pro(q.semantics, a.pro, a.cache_hits, a.cache_misses))
+            })
             .collect();
         Ok(answers)
     }
@@ -521,33 +644,29 @@ impl Engine {
     ) -> Result<Vec<Result<ReliabilityAnswer, EngineError>>, EngineError> {
         let rg = self.registered(id)?;
 
-        // Stage 1 (planned): preprocess, then run the cost model on every
-        // part to materialize its routed solver.
+        // Stage 1 (planned): semantics planning, then run the cost model on
+        // every part to materialize its routed solver.
         let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
             .iter()
             .map(|q| {
-                let pre =
-                    preprocess_with_index(&rg.graph, &rg.index, &q.terminals, q.config.preprocess)?;
+                let plan = q.semantics.semantics().plan(
+                    &rg.graph,
+                    &rg.index,
+                    &q.terminals,
+                    q.config.preprocess,
+                )?;
                 // The wall-clock hint covers the whole query: split its
                 // allowance across the decomposition before routing.
-                let part_budget = q.budget.for_parts(pre.parts.len());
-                let plans: Vec<PartPlan> = pre
+                let part_budget = q.budget.for_parts(plan.parts.len());
+                let plans: Vec<PartPlan> = plan
                     .parts
                     .iter()
                     .enumerate()
-                    .map(|(pi, part)| {
-                        plan_part(
-                            &part.graph,
-                            &part.terminals,
-                            q.config.s2bdd,
-                            pi,
-                            &part_budget,
-                        )
-                    })
+                    .map(|(pi, part)| plan_part(part, q.config.s2bdd, pi, &part_budget))
                     .collect();
                 let solvers = plans.iter().map(|p| p.solver).collect();
                 let routes = plans.iter().map(|p| p.route).collect();
-                Ok(Self::prepared(pre, solvers, routes))
+                Ok(Self::prepared(plan, solvers, routes))
             })
             .collect();
 
@@ -558,9 +677,11 @@ impl Engine {
             .map(|(a, q)| {
                 a.map(|a| {
                     ReliabilityAnswer::from_pro(
+                        q.semantics,
                         a.pro,
                         a.routes,
                         &q.budget,
+                        q.semantics.semantics().value_upper(&rg.graph),
                         a.cache_hits,
                         a.cache_misses,
                     )
@@ -579,15 +700,19 @@ impl Engine {
     /// Assemble a [`PreparedQuery`] from its parts, deriving the cache key
     /// of every part from its materialized solver (the single
     /// key-derivation site).
-    fn prepared(pre: Preprocessed, solvers: Vec<PartSolver>, routes: Vec<Route>) -> PreparedQuery {
-        let keys = pre
+    fn prepared(
+        plan: SemanticsPlan,
+        solvers: Vec<PartSolver>,
+        routes: Vec<Route>,
+    ) -> PreparedQuery {
+        let keys = plan
             .parts
             .iter()
             .zip(&solvers)
-            .map(|(part, &solver)| PlanKey::for_solver(&part.graph, &part.terminals, solver))
+            .map(|(part, &solver)| PlanKey::for_part(part, solver))
             .collect();
         PreparedQuery {
-            pre,
+            plan,
             solvers,
             routes,
             keys,
@@ -600,7 +725,8 @@ impl Engine {
     /// The shared stage-2/3 pipeline behind both batch entry points:
     /// plan-cache lookup and in-batch dedup, parallel solving of the
     /// remaining jobs, cache publication, and per-query recombination with
-    /// the exact `combine_part_results` composition `pro_reliability` uses.
+    /// the exact `combine_semantics_plan` composition the one-shot
+    /// `semantics_reliability` uses.
     fn execute(
         &self,
         mut prepared: Vec<Result<PreparedQuery, EngineError>>,
@@ -641,16 +767,16 @@ impl Engine {
             executor::run_indexed(jobs.len(), self.cfg.workers, |j| {
                 let (qi, pi) = jobs[j];
                 let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
-                let part = &prep.pre.parts[pi];
+                let part = &prep.plan.parts[pi];
                 match prep.solvers[pi] {
-                    PartSolver::S2Bdd(cfg) => S2Bdd::solve(&part.graph, &part.terminals, cfg),
+                    PartSolver::S2Bdd(cfg) => solve_semantics_part(part, cfg),
+                    PartSolver::Enumeration => exact_semantics_part(part),
                     PartSolver::Sampling {
                         samples,
                         estimator,
                         seed,
-                    } => sample_part_result(
-                        &part.graph,
-                        &part.terminals,
+                    } => sample_semantics_part(
+                        part,
                         SamplingConfig {
                             samples,
                             estimator,
@@ -680,14 +806,6 @@ impl Engine {
             .into_iter()
             .map(|prep| {
                 let prep = prep?;
-                if prep.pre.trivially_zero {
-                    return Ok(Assembled {
-                        pro: zero_pro_result(prep.pre.stats),
-                        routes: prep.routes,
-                        cache_hits: prep.cache_hits,
-                        cache_misses: prep.cache_misses,
-                    });
-                }
                 let mut parts = Vec::with_capacity(prep.sources.len());
                 for source in prep.sources {
                     match source {
@@ -695,8 +813,11 @@ impl Engine {
                         PartSource::Job(j) => parts.push(solved[j].clone()?),
                     }
                 }
+                // `combine_semantics_plan` handles trivially-zero plans
+                // (empty parts) and reproduces `combine_part_results` bit
+                // for bit on the classic single-group shape.
                 Ok(Assembled {
-                    pro: combine_part_results(prep.pre.pb, prep.pre.stats, parts),
+                    pro: combine_semantics_plan(&prep.plan, parts),
                     routes: prep.routes,
                     cache_hits: prep.cache_hits,
                     cache_misses: prep.cache_misses,
@@ -975,6 +1096,175 @@ mod tests {
         assert!((a.ci.lower - (1.0 - slack)).abs() < 1e-12, "{:?}", a.ci);
         assert_eq!(a.ci.upper, 1.0);
         assert!(a.ci.width() > 0.0);
+    }
+
+    /// Complete graph on 7 vertices (21 edges — above the d-hop exact
+    /// enumeration limit) with heterogeneous probabilities; at `d = 2`
+    /// every vertex is one hop from both endpoints, so distance pruning
+    /// keeps the part wide.
+    fn k7() -> UncertainGraph {
+        let mut edges = Vec::new();
+        for u in 0..7usize {
+            for v in (u + 1)..7 {
+                edges.push((u, v, 0.15 + 0.1 * ((u + v) % 5) as f64));
+            }
+        }
+        UncertainGraph::new(7, edges).unwrap()
+    }
+
+    #[test]
+    fn semantics_batch_answers_match_oneshot_bitwise() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        let cases = [
+            (SemanticsSpec::TwoTerminal, vec![0, 7]),
+            (SemanticsSpec::KTerminal, vec![1, 4, 6]),
+            (SemanticsSpec::AllTerminal, vec![]),
+            (SemanticsSpec::DHop { d: 6 }, vec![0, 7]),
+            (SemanticsSpec::DHop { d: 2 }, vec![0, 7]), // trivially zero
+            (SemanticsSpec::ReachSet, vec![3]),
+        ];
+        let queries: Vec<ReliabilityQuery> = cases
+            .iter()
+            .map(|(s, t)| ReliabilityQuery::with_semantics(*s, t.clone(), sampling_cfg(11)))
+            .collect();
+        let answers = engine.run_batch(id, &queries).unwrap();
+        for (q, a) in queries.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            let solo = netrel_core::semantics_reliability(&g, q.semantics, &q.terminals, q.config)
+                .unwrap();
+            assert_eq!(
+                a.estimate.to_bits(),
+                solo.estimate.to_bits(),
+                "{:?}",
+                q.semantics
+            );
+            assert_eq!(a.lower_bound.to_bits(), solo.lower_bound.to_bits());
+            assert_eq!(a.upper_bound.to_bits(), solo.upper_bound.to_bits());
+            assert_eq!(a.samples_used, solo.samples_used);
+            assert_eq!(a.exact, solo.exact);
+            assert_eq!(a.semantics, q.semantics);
+        }
+    }
+
+    #[test]
+    fn semantics_answers_agree_with_oracle() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        let cases = [
+            (SemanticsSpec::TwoTerminal, vec![0, 7]),
+            (SemanticsSpec::KTerminal, vec![1, 4, 6]),
+            (SemanticsSpec::AllTerminal, vec![]),
+            (SemanticsSpec::DHop { d: 6 }, vec![0, 7]),
+            (SemanticsSpec::ReachSet, vec![0]),
+        ];
+        for (spec, t) in cases {
+            let truth = netrel_core::oracle_value(&g, spec, &t).unwrap();
+            let a = engine
+                .run(
+                    id,
+                    &ReliabilityQuery::with_semantics(spec, t, ProConfig::default()),
+                )
+                .unwrap();
+            assert!(
+                (a.estimate - truth).abs() < 1e-9,
+                "{spec:?}: {} vs oracle {truth}",
+                a.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn wide_dhop_batch_matches_oneshot_bitwise() {
+        // 21 edges at d = 2: the classic path must take the hop-bounded
+        // sampling fallback, with the same per-part seed as the one-shot
+        // pipeline.
+        let g = k7();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("k7", g.clone());
+        let q = ReliabilityQuery::with_semantics(
+            SemanticsSpec::DHop { d: 2 },
+            vec![0, 6],
+            sampling_cfg(9),
+        );
+        let a = engine.run(id, &q).unwrap();
+        let solo =
+            netrel_core::semantics_reliability(&g, q.semantics, &q.terminals, q.config).unwrap();
+        assert!(!a.exact, "oversized d-hop part must be sampled");
+        assert!(a.samples_used > 0);
+        assert_eq!(a.estimate.to_bits(), solo.estimate.to_bits());
+        assert_eq!(a.samples_used, solo.samples_used);
+    }
+
+    #[test]
+    fn planned_dhop_small_part_is_exact_enumeration() {
+        let g = lollipop();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("lollipop", g.clone());
+        let spec = SemanticsSpec::DHop { d: 6 };
+        let q = PlannedQuery::with_semantics(
+            spec,
+            vec![0, 7],
+            ProConfig::default(),
+            PlanBudget::default(),
+        );
+        let a = engine.run_planned(id, &q).unwrap();
+        assert!(
+            a.routes.iter().all(|&r| r == Route::Exact),
+            "{:?}",
+            a.routes
+        );
+        assert!(a.exact);
+        assert_eq!((a.ci.lower, a.ci.upper), (a.estimate, a.estimate));
+        let truth = netrel_core::oracle_value(&g, spec, &[0, 7]).unwrap();
+        assert!((a.estimate - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_wide_dhop_routes_to_sampling_with_ci() {
+        let g = k7();
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("k7", g);
+        let spec = SemanticsSpec::DHop { d: 2 };
+        let q = PlannedQuery::with_semantics(
+            spec,
+            vec![0, 6],
+            ProConfig::default(),
+            PlanBudget::default(),
+        );
+        let a = engine.run_planned(id, &q).unwrap();
+        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(!a.exact);
+        assert!(a.samples_used > 0);
+        assert!(a.ci.contains(a.estimate));
+        assert_eq!(a.semantics, spec);
+    }
+
+    #[test]
+    fn reach_set_ci_lives_in_the_count_range() {
+        // Near-certain 20-clique: the expected reachable-set size is close
+        // to 20 — the CI must live in the count range, not be squashed into
+        // [0, 1] like a probability.
+        let g = netrel_datasets::clique_uniform(20, 0.9);
+        let mut engine = Engine::new(EngineConfig::default());
+        let id = engine.register("hot-clique", g);
+        let q = PlannedQuery::with_semantics(
+            SemanticsSpec::ReachSet,
+            vec![0],
+            ProConfig::default(),
+            PlanBudget::default(),
+        );
+        let a = engine.run_planned(id, &q).unwrap();
+        assert!(
+            a.estimate > 10.0,
+            "estimate {} should be near 20",
+            a.estimate
+        );
+        assert!(a.ci.contains(a.estimate), "{:?} vs {}", a.ci, a.estimate);
+        assert!(a.ci.upper <= 20.0 + 1e-9);
+        assert!(a.upper_bound <= 20.0 + 1e-9);
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //! assert_eq!((a.ci.lower, a.ci.upper), (a.estimate, a.estimate));
 //! ```
 
-use netrel_core::part_s2bdd_config;
+use netrel_core::{part_s2bdd_config, PartComputation, SemPart};
 use netrel_numeric::ConfidenceLevel;
 use netrel_s2bdd::{EstimatorKind, S2BddConfig};
 use netrel_ugraph::ordering::FrontierPlan;
@@ -196,9 +196,10 @@ pub enum PartSolver {
     /// and width-bounded routes all land here).
     S2Bdd(S2BddConfig),
     /// One flat-sampling run
-    /// ([`sample_part_result`](netrel_core::sample_part_result)); thread
-    /// count is pinned by the seed-stable stream partition, so it is not
-    /// part of the identity.
+    /// ([`sample_semantics_part`](netrel_core::sample_semantics_part) —
+    /// connectivity parts use the terminal-connectivity sampler, d-hop
+    /// parts the hop-bounded one); thread count is pinned by the
+    /// seed-stable stream partition, so it is not part of the identity.
     Sampling {
         /// Possible worlds to draw.
         samples: usize,
@@ -207,6 +208,13 @@ pub enum PartSolver {
         /// Stream seed.
         seed: u64,
     },
+    /// Exact enumeration for parts whose indicator the S2BDD cannot
+    /// express (d-hop parts: recursive edge conditioning,
+    /// [`dhop_exact_reliability`](netrel_core::dhop_exact_reliability)).
+    /// Deterministic and seed-free, so the variant carries no
+    /// configuration — the part identity (and its
+    /// [`PartComputation`]) fully determines the result.
+    Enumeration,
 }
 
 /// What the cost model predicted for one part.
@@ -305,7 +313,10 @@ pub fn estimate_part(
     }
 }
 
-/// Route one part under `budget`.
+/// Route one semantics part under `budget`, dispatching on the part's
+/// [`PartComputation`]: connectivity parts go through the S2BDD cost model
+/// ([`estimate_part`]), d-hop parts through the enumeration cost model
+/// ([`estimate_dhop_part`]).
 ///
 /// `base` supplies the knobs the planner does not decide (estimator, edge
 /// order, merge rule, seed, trajectory recording); width, samples, and node
@@ -313,6 +324,71 @@ pub fn estimate_part(
 /// derivation `pro_reliability` uses, so exact-routed parts are
 /// bit-interchangeable with one-shot solves.
 pub fn plan_part(
+    part: &SemPart,
+    base: S2BddConfig,
+    part_index: usize,
+    budget: &PlanBudget,
+) -> PartPlan {
+    match part.computation {
+        PartComputation::Connectivity => {
+            plan_connectivity_part(&part.graph, &part.terminals, base, part_index, budget)
+        }
+        PartComputation::DHop { .. } => plan_dhop_part(part, base, part_index, budget),
+    }
+}
+
+/// Cost model for a d-hop part: recursive edge conditioning visits at most
+/// `2^|E|` leaves (the BFS bounds prune most in practice, but the planner
+/// budgets for the worst case), so the predicted "node" count is
+/// `2^layers`, saturating. The frontier width is reported as 0 — no
+/// decision diagram is built.
+pub fn estimate_dhop_part(graph: &UncertainGraph) -> CostEstimate {
+    let layers = graph.num_edges();
+    let predicted_nodes = if layers >= usize::BITS as usize {
+        usize::MAX
+    } else {
+        1usize << layers
+    };
+    CostEstimate {
+        frontier_width: 0,
+        layers,
+        predicted_nodes,
+    }
+}
+
+/// Route one d-hop part: exact recursive conditioning
+/// ([`PartSolver::Enumeration`]) if the worst-case `2^|E|` leaf count fits
+/// the node budget, else hop-bounded flat sampling. There is no bounded
+/// middle route — the width-bounded S2BDD cannot express the hop-count
+/// indicator.
+fn plan_dhop_part(
+    part: &SemPart,
+    base: S2BddConfig,
+    part_index: usize,
+    budget: &PlanBudget,
+) -> PartPlan {
+    let estimate = estimate_dhop_part(&part.graph);
+    let part_cfg = part_s2bdd_config(base, part_index);
+    if estimate.predicted_nodes <= budget.effective_node_budget() {
+        PartPlan {
+            route: Route::Exact,
+            solver: PartSolver::Enumeration,
+            estimate,
+        }
+    } else {
+        PartPlan {
+            route: Route::Sampling,
+            solver: PartSolver::Sampling {
+                samples: budget.effective_sample_budget(),
+                estimator: part_cfg.estimator,
+                seed: part_cfg.seed,
+            },
+            estimate,
+        }
+    }
+}
+
+fn plan_connectivity_part(
     graph: &UncertainGraph,
     terminals: &[VertexId],
     base: S2BddConfig,
@@ -388,6 +464,18 @@ mod tests {
         netrel_datasets::clique_uniform(n, 0.5)
     }
 
+    fn conn(g: &UncertainGraph, t: &[VertexId]) -> SemPart {
+        SemPart::connectivity(g.clone(), t.to_vec())
+    }
+
+    fn dhop(g: &UncertainGraph, t: &[VertexId], d: u32) -> SemPart {
+        SemPart {
+            graph: g.clone(),
+            terminals: t.to_vec(),
+            computation: PartComputation::DHop { d },
+        }
+    }
+
     #[test]
     fn bell_table_and_saturation() {
         assert_eq!(states_upper_bound(0), 1);
@@ -404,8 +492,7 @@ mod tests {
         assert_eq!(est.frontier_width, 2);
         assert!(est.predicted_nodes <= 2 * est.layers);
         let plan = plan_part(
-            &g,
-            &[0, 49],
+            &conn(&g, &[0, 49]),
             S2BddConfig::default(),
             0,
             &PlanBudget::default(),
@@ -428,13 +515,54 @@ mod tests {
         assert!(est.frontier_width > BOUNDED_WIDTH_LIMIT);
         assert_eq!(est.predicted_nodes, usize::MAX);
         let plan = plan_part(
-            &g,
-            &[0, 59],
+            &conn(&g, &[0, 59]),
             S2BddConfig::default(),
             0,
             &PlanBudget::default(),
         );
         assert_eq!(plan.route, Route::Sampling);
+    }
+
+    #[test]
+    fn small_dhop_part_routes_to_enumeration() {
+        let g = path(10); // 9 edges → 512 predicted leaves
+        let plan = plan_part(
+            &dhop(&g, &[0, 9], 9),
+            S2BddConfig::default(),
+            0,
+            &PlanBudget::default(),
+        );
+        assert_eq!(plan.route, Route::Exact);
+        assert_eq!(plan.solver, PartSolver::Enumeration);
+        assert_eq!(plan.estimate.predicted_nodes, 512);
+        assert_eq!(plan.estimate.frontier_width, 0);
+    }
+
+    #[test]
+    fn wide_dhop_part_routes_to_sampling_with_part_seed() {
+        let g = clique(30); // 435 edges → 2^435 saturates
+        let base = S2BddConfig::default();
+        let plan = plan_part(&dhop(&g, &[0, 29], 2), base, 4, &PlanBudget::default());
+        assert_eq!(plan.route, Route::Sampling);
+        assert_eq!(plan.estimate.predicted_nodes, usize::MAX);
+        match plan.solver {
+            PartSolver::Sampling { samples, seed, .. } => {
+                assert_eq!(samples, PlanBudget::default().sample_budget);
+                assert_eq!(seed, part_s2bdd_config(base, 4).seed);
+            }
+            other => panic!("expected sampling solver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dhop_node_budget_gates_enumeration() {
+        let g = path(10); // 9 edges → 512 leaves
+        let tight = PlanBudget::with_nodes(511);
+        let plan = plan_part(&dhop(&g, &[0, 9], 9), S2BddConfig::default(), 0, &tight);
+        assert_eq!(plan.route, Route::Sampling);
+        let roomy = PlanBudget::with_nodes(512);
+        let plan = plan_part(&dhop(&g, &[0, 9], 9), S2BddConfig::default(), 0, &roomy);
+        assert_eq!(plan.solver, PartSolver::Enumeration);
     }
 
     #[test]
@@ -460,7 +588,7 @@ mod tests {
         assert!(est.frontier_width > 2 && est.frontier_width <= BOUNDED_WIDTH_LIMIT);
         let budget = PlanBudget::default();
         assert!(est.predicted_nodes > budget.node_budget);
-        let plan = plan_part(&g, &t, S2BddConfig::default(), 0, &budget);
+        let plan = plan_part(&conn(&g, &t), S2BddConfig::default(), 0, &budget);
         assert_eq!(plan.route, Route::Bounded);
         match plan.solver {
             PartSolver::S2Bdd(cfg) => {
@@ -513,7 +641,7 @@ mod tests {
     fn seed_derivation_matches_pro() {
         let g = path(5);
         let base = S2BddConfig::default();
-        let plan = plan_part(&g, &[0, 4], base, 3, &PlanBudget::default());
+        let plan = plan_part(&conn(&g, &[0, 4]), base, 3, &PlanBudget::default());
         let PartSolver::S2Bdd(cfg) = plan.solver else {
             panic!("exact route expected");
         };

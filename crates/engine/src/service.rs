@@ -12,6 +12,7 @@
 //! {"op":"query","graph":"g","terminals":[0,2],"samples":5000,"seed":7}
 //! {"op":"batch","graph":"g","queries":[{"terminals":[0,2]},{"terminals":[1,2],"seed":9}]}
 //! {"op":"query","graph":"g","terminals":[0,2],"budget":{"nodes":100000,"confidence":0.99}}
+//! {"op":"query","graph":"g","terminals":[0,2],"semantics":"d-hop","d":3}
 //! {"op":"stats"}
 //! ```
 //!
@@ -20,6 +21,14 @@
 //! and `exact` (unbounded width, no sampling). In a `batch`, knobs given at
 //! the top level act as defaults for every query; a knob set on the query
 //! object itself always wins over the batch default.
+//!
+//! The optional `semantics` field selects what the query computes:
+//! `"k-terminal"` (the default — existing clients are unaffected),
+//! `"two-terminal"`, `"all-terminal"`, `"d-hop"` (requires the hop bound
+//! `d` as a sibling field), or `"reach-set"` (expected reachable-set size
+//! from one source vertex). `semantics`/`d` layer like the solver knobs:
+//! batch level first, per-query override wins. `terminals` may be omitted
+//! for `"all-terminal"`. Every answer echoes the semantics it computed.
 //!
 //! Passing `"plan": true` or a `"budget"` object routes the request through
 //! the **adaptive planner** ([`Engine::run_planned_batch`]): `budget`
@@ -39,7 +48,7 @@
 //! query in request order, so one bad query cannot poison a batch.
 
 use crate::{Engine, EngineError, PlanBudget, PlannedQuery, ReliabilityQuery};
-use netrel_core::ProConfig;
+use netrel_core::{ProConfig, SemanticsSpec};
 use netrel_numeric::ConfidenceLevel;
 use netrel_s2bdd::{EstimatorKind, S2BddConfig};
 use netrel_ugraph::UncertainGraph;
@@ -117,7 +126,12 @@ impl Service {
         let answer = if wants_plan(request) {
             let mut budget = PlanBudget::default();
             apply_budget(request, &mut budget)?;
-            let planned = PlannedQuery::with_config(query.terminals, query.config, budget);
+            let planned = PlannedQuery::with_semantics(
+                query.semantics,
+                query.terminals,
+                query.config,
+                budget,
+            );
             self.engine
                 .run_planned(id, &planned)
                 .map_err(|e: EngineError| e.to_string())?
@@ -156,7 +170,12 @@ impl Service {
                     let mut budget = PlanBudget::default();
                     apply_budget(request, &mut budget)?;
                     apply_budget(item, &mut budget)?;
-                    Ok(PlannedQuery::with_config(q.terminals, q.config, budget))
+                    Ok(PlannedQuery::with_semantics(
+                        q.semantics,
+                        q.terminals,
+                        q.config,
+                        budget,
+                    ))
                 })
                 .collect::<Result<Vec<_>, String>>()?;
             self.engine
@@ -353,9 +372,44 @@ fn edge_triple(item: &Value) -> Result<(usize, usize, f64), String> {
     }
 }
 
+/// Resolve the layered `semantics`/`d` fields of one query object (batch
+/// defaults first, per-query override wins — same layering as the solver
+/// knobs). Absent everywhere, the semantics defaults to k-terminal, so
+/// pre-semantics clients see identical behavior.
+fn parse_semantics(item: &Value, defaults: &Value) -> Result<SemanticsSpec, String> {
+    let mut name: Option<&str> = None;
+    let mut d: Option<u64> = None;
+    for layer in [defaults, item] {
+        match layer.get("semantics") {
+            Some(Value::Str(s)) => name = Some(s),
+            Some(_) => return Err("field `semantics` must be a string".into()),
+            None => {}
+        }
+        if let Some(v) = opt_u64(layer, "d")? {
+            d = Some(v);
+        }
+    }
+    match name {
+        None | Some("k-terminal") => Ok(SemanticsSpec::KTerminal),
+        Some("two-terminal") => Ok(SemanticsSpec::TwoTerminal),
+        Some("all-terminal") => Ok(SemanticsSpec::AllTerminal),
+        Some("reach-set") => Ok(SemanticsSpec::ReachSet),
+        Some("d-hop") => {
+            let d = d.ok_or("semantics `d-hop` needs a hop bound `d`")?;
+            let d = u32::try_from(d).map_err(|_| "`d` must fit in 32 bits".to_string())?;
+            Ok(SemanticsSpec::DHop { d })
+        }
+        Some(other) => Err(format!(
+            "unknown semantics `{other}` (use \"two-terminal\", \"k-terminal\", \
+             \"all-terminal\", \"d-hop\", or \"reach-set\")"
+        )),
+    }
+}
+
 /// Parse one query object; `defaults` (the enclosing request, for `batch`)
-/// supplies fallback solver knobs.
+/// supplies fallback solver knobs and semantics.
 fn parse_query(item: &Value, defaults: &Value) -> Result<ReliabilityQuery, String> {
+    let semantics = parse_semantics(item, defaults)?;
     let terminals = match item.get("terminals") {
         Some(Value::Seq(ts)) => ts
             .iter()
@@ -366,6 +420,8 @@ fn parse_query(item: &Value, defaults: &Value) -> Result<ReliabilityQuery, Strin
             })
             .collect::<Result<Vec<_>, _>>()?,
         Some(_) => return Err("`terminals` must be an array".into()),
+        // All-terminal ignores the terminal list, so it may be omitted.
+        None if matches!(semantics, SemanticsSpec::AllTerminal) => Vec::new(),
         None => return Err("missing field `terminals`".into()),
     };
 
@@ -378,7 +434,8 @@ fn parse_query(item: &Value, defaults: &Value) -> Result<ReliabilityQuery, Strin
         apply_knobs(layer, &mut s2bdd)?;
     }
 
-    Ok(ReliabilityQuery::with_config(
+    Ok(ReliabilityQuery::with_semantics(
+        semantics,
         terminals,
         ProConfig {
             s2bdd,
@@ -560,6 +617,89 @@ mod tests {
         ] {
             let v = parse(&s.handle_line(bad));
             assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
+        }
+    }
+
+    #[test]
+    fn default_semantics_is_k_terminal_and_echoed() {
+        let mut s = service_with_graph();
+        let v = parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2]}"#));
+        let kind = v
+            .get("answer")
+            .and_then(|a| a.get("semantics"))
+            .and_then(|sem| sem.get("kind"))
+            .cloned();
+        assert_eq!(kind, Some(Value::Str("k-terminal".into())));
+    }
+
+    #[test]
+    fn dhop_query_answers_the_hop_bounded_reliability() {
+        let mut s = service_with_graph();
+        // 4-cycle 0.9/0.8/0.9/0.7, terminals {0, 2}, d = 2: both two-hop
+        // routes count, R = 1 − (1 − 0.9·0.8)(1 − 0.9·0.7).
+        let v = parse(&s.handle_line(
+            r#"{"op":"query","graph":"g","terminals":[0,2],"semantics":"d-hop","d":2}"#,
+        ));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let answer = v.get("answer").expect("answer present");
+        let estimate = match answer.get("estimate") {
+            Some(Value::F64(x)) => *x,
+            other => panic!("estimate missing: {other:?}"),
+        };
+        let truth = 1.0 - (1.0 - 0.9 * 0.8) * (1.0 - 0.9 * 0.7);
+        assert!((estimate - truth).abs() < 1e-9, "{estimate} vs {truth}");
+        assert_eq!(answer.get("exact"), Some(&Value::Bool(true)));
+        let sem = answer.get("semantics").expect("semantics echoed");
+        assert_eq!(sem.get("kind"), Some(&Value::Str("d-hop".into())));
+        assert_eq!(sem.get("d"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn all_terminal_queries_may_omit_terminals() {
+        let mut s = service_with_graph();
+        let v = parse(
+            &s.handle_line(r#"{"op":"query","graph":"g","semantics":"all-terminal","exact":true}"#),
+        );
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let answer = v.get("answer").expect("answer present");
+        assert_eq!(answer.get("exact"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn batch_semantics_default_with_per_query_override() {
+        let mut s = service_with_graph();
+        let response = s.handle_line(
+            r#"{"op":"batch","graph":"g","semantics":"d-hop","d":2,"queries":
+                [{"terminals":[0,2]},{"terminals":[0,2],"semantics":"k-terminal"}]}"#,
+        );
+        let v = parse(&response);
+        let answers = match v.get("answers") {
+            Some(Value::Seq(a)) => a,
+            other => panic!("answers missing: {other:?}"),
+        };
+        let kind = |a: &Value| {
+            a.get("answer")
+                .and_then(|ans| ans.get("semantics"))
+                .and_then(|sem| sem.get("kind"))
+                .cloned()
+        };
+        assert_eq!(kind(&answers[0]), Some(Value::Str("d-hop".into())));
+        assert_eq!(kind(&answers[1]), Some(Value::Str("k-terminal".into())));
+    }
+
+    #[test]
+    fn bad_semantics_requests_are_errors_not_panics() {
+        let mut s = service_with_graph();
+        for bad in [
+            r#"{"op":"query","graph":"g","terminals":[0,2],"semantics":"bogus"}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,2],"semantics":"d-hop"}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,2],"semantics":7}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,1,2],"semantics":"two-terminal"}"#,
+            r#"{"op":"query","graph":"g","terminals":[0,1],"semantics":"reach-set"}"#,
+        ] {
+            let v = parse(&s.handle_line(bad));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
+            assert!(matches!(v.get("error"), Some(Value::Str(_))));
         }
     }
 

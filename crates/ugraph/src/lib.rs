@@ -34,5 +34,5 @@ pub use error::{GraphError, Result};
 pub use graph::{EdgeId, UEdge, UncertainGraph, VertexId};
 pub use multigraph::MultiGraph;
 pub use ordering::{EdgeOrder, FrontierPlan};
-pub use sample::WorldSampler;
+pub use sample::{HopSampler, WorldSampler};
 pub use stats::GraphStats;

@@ -159,6 +159,130 @@ impl WorldSampler {
     }
 }
 
+/// Reusable possible-world sampler for *hop-bounded* reachability: does the
+/// sampled world contain an `s`–`t` path of at most `d` edges?
+///
+/// Unlike [`WorldSampler`], connectivity alone is not enough — the indicator
+/// depends on path *length* — so each sample draws the full edge mask first
+/// (every edge must be decided before the BFS; lazily drawing edges during
+/// the traversal would draw an edge once per incidence and bias the world
+/// distribution) and then runs a layered BFS truncated at depth `d`, with
+/// early exit once `t` enters the frontier. Visited marks are
+/// epoch-versioned, so a sample costs `O(|E| + |V_visited|)` with no
+/// per-sample reset.
+#[derive(Clone, Debug)]
+pub struct HopSampler {
+    present: Vec<bool>,
+    visited: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl HopSampler {
+    /// Sampler for graphs with up to `n` vertices and `m` edges.
+    pub fn new(n: usize, m: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        HopSampler {
+            present: vec![false; m],
+            visited: vec![0; n],
+            epoch: 0,
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: clear eagerly so stale epochs can't alias.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Layered BFS from `s` over the currently drawn edge mask, truncated at
+    /// `max_hops` levels. Returns whether `t` is reached within the bound.
+    fn reaches_within(
+        &mut self,
+        g: &UncertainGraph,
+        s: VertexId,
+        t: VertexId,
+        max_hops: u32,
+    ) -> bool {
+        if s == t {
+            return true;
+        }
+        self.begin();
+        self.visited[s] = self.epoch;
+        self.frontier.clear();
+        self.frontier.push(s as u32);
+        for _ in 0..max_hops {
+            self.next.clear();
+            for fi in 0..self.frontier.len() {
+                let v = self.frontier[fi] as usize;
+                for &(w, e) in g.neighbors(v) {
+                    if self.present[e] && self.visited[w] != self.epoch {
+                        if w == t {
+                            return true;
+                        }
+                        self.visited[w] = self.epoch;
+                        self.next.push(w as u32);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+            if self.frontier.is_empty() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Draw one possible world of `g` and report whether it contains an
+    /// `s`–`t` path of at most `max_hops` edges. Every edge is drawn (the
+    /// hop-bounded indicator depends on the full mask), so the draw count
+    /// per world is fixed at `|E|`.
+    pub fn sample_within_hops<R: Rng + ?Sized>(
+        &mut self,
+        g: &UncertainGraph,
+        s: VertexId,
+        t: VertexId,
+        max_hops: u32,
+        rng: &mut R,
+    ) -> bool {
+        for (i, e) in g.edges().iter().enumerate() {
+            self.present[i] = rng.gen::<f64>() < e.p;
+        }
+        self.reaches_within(g, s, t, max_hops)
+    }
+
+    /// Hop-bounded analogue of [`WorldSampler::sample_world_full`]: draw one
+    /// full world and return `(reaches, ln Pr[G_p], state_hash)` for the
+    /// Horvitz–Thompson estimator.
+    pub fn sample_world_within_hops<R: Rng + ?Sized>(
+        &mut self,
+        g: &UncertainGraph,
+        s: VertexId,
+        t: VertexId,
+        max_hops: u32,
+        rng: &mut R,
+    ) -> (bool, f64, u64) {
+        let mut ln_p = 0.0f64;
+        // FNV-1a over the edge-state bitstring, identical to the
+        // connectivity sampler so world identities are comparable.
+        let mut hash = 0xcbf29ce484222325u64;
+        for (i, e) in g.edges().iter().enumerate() {
+            let exists = rng.gen::<f64>() < e.p;
+            self.present[i] = exists;
+            hash ^= exists as u64 + 1;
+            hash = hash.wrapping_mul(0x100000001b3);
+            ln_p += if exists { e.p.ln() } else { (1.0 - e.p).ln() };
+        }
+        (self.reaches_within(g, s, t, max_hops), ln_p, hash)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +349,63 @@ mod tests {
         }
         // 2 edges → 4 distinct worlds.
         assert_eq!(hashes.len(), 4);
+    }
+
+    #[test]
+    fn hop_sampler_depth_bound_is_sharp() {
+        // Deterministic path 0-1-2: 0 reaches 2 within 2 hops, never within 1.
+        let g = UncertainGraph::new(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let mut hs = HopSampler::new(3, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert!(hs.sample_within_hops(&g, 0, 2, 2, &mut rng));
+            assert!(!hs.sample_within_hops(&g, 0, 2, 1, &mut rng));
+            assert!(hs.sample_within_hops(&g, 0, 0, 0, &mut rng), "s == t");
+        }
+    }
+
+    #[test]
+    fn hop_sampler_estimates_bounded_path_probability() {
+        // Square 0-1-2-3-0 with a chord 0-2: within 1 hop only the chord
+        // counts (p = 0.3); within 2 hops the two 2-edge paths join in.
+        let g = UncertainGraph::new(
+            4,
+            [
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+                (2, 3, 0.5),
+                (3, 0, 0.5),
+                (0, 2, 0.3),
+            ],
+        )
+        .unwrap();
+        let mut hs = HopSampler::new(4, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let hits1 = (0..n)
+            .filter(|_| hs.sample_within_hops(&g, 0, 2, 1, &mut rng))
+            .count();
+        assert!((hits1 as f64 / n as f64 - 0.3).abs() < 0.01);
+        let truth2 = 1.0 - (1.0 - 0.3f64) * (1.0 - 0.25) * (1.0 - 0.25);
+        let hits2 = (0..n)
+            .filter(|_| hs.sample_within_hops(&g, 0, 2, 2, &mut rng))
+            .count();
+        assert!((hits2 as f64 / n as f64 - truth2).abs() < 0.01);
+    }
+
+    #[test]
+    fn hop_sampler_full_world_matches_quick_path() {
+        let g = path3();
+        let mut a = HopSampler::new(3, 2);
+        let mut b = HopSampler::new(3, 2);
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            let quick = a.sample_within_hops(&g, 0, 2, 2, &mut rng_a);
+            let (full, lnp, _) = b.sample_world_within_hops(&g, 0, 2, 2, &mut rng_b);
+            assert_eq!(quick, full, "same seed, same worlds, same indicator");
+            assert!((lnp - 0.25f64.ln()).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -21,6 +21,26 @@ pub fn connected_component(g: &UncertainGraph, start: VertexId) -> Vec<VertexId>
     out
 }
 
+/// Hop distance from `start` to every vertex (`0` for `start` itself,
+/// `u32::MAX` for unreachable vertices), ignoring edge probabilities.
+/// Used by distance-constrained (d-hop) semantics to prune vertices that
+/// cannot lie on any sufficiently short path.
+pub fn bfs_distances(g: &UncertainGraph, start: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &(w, _) in g.neighbors(v) {
+            if dist[w] == u32::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
 /// Component id per vertex (`0..k` for `k` components) and the component count.
 pub fn connected_components(g: &UncertainGraph) -> (Vec<usize>, usize) {
     let n = g.num_vertices();

@@ -7,6 +7,10 @@
 //! 2-edge-connected-component extension technique, the Monte Carlo /
 //! Horvitz–Thompson baselines, an exact solver, datasets, and the full
 //! benchmark harness that regenerates every table and figure of the paper.
+//! Beyond the paper, a pluggable [`solvers::Semantics`] trait answers five
+//! reliability questions (k-terminal, two-terminal, all-terminal, d-hop,
+//! expected reachable-set size) through the same decompose/solve/combine
+//! pipeline and the same multi-query engine.
 //!
 //! Quick start:
 //!
@@ -28,8 +32,8 @@
 //! | [`bdd`] | brute force, frontier machine, materialized BDD baseline |
 //! | [`s2bdd`] | the paper's S2BDD solver |
 //! | [`preprocessing`] | prune / decompose / transform |
-//! | [`solvers`] | `Sampling(MC/HT)`, `Pro`, exact |
-//! | [`engine`] | batched multi-query engine: shared preprocessing, adaptive planner, plan cache, JSON service |
+//! | [`solvers`] | `Sampling(MC/HT)`, `Pro`, exact, the `Semantics` trait + oracle |
+//! | [`engine`] | batched multi-query engine: shared preprocessing, semantics-generic adaptive planner, plan cache, JSON service |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
