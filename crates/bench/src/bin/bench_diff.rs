@@ -1,0 +1,64 @@
+//! `bench-diff` — compare two `BENCH_*.json` reports under a tolerance band.
+//!
+//! ```text
+//! $ bench-diff BENCH_engine.json fresh.json --tol=0.5
+//! ```
+//!
+//! Deterministic fields (row set, workload shape, planner route counts,
+//! cache counters) must match exactly; timing fields (`secs`, `qps`, and
+//! the per-row extras) pass within the relative tolerance (default ±50%,
+//! generous because committed baselines travel across machines). Exits 0
+//! when the reports agree, 1 with one violation per line when they do not —
+//! the CI perf gate is this binary plus a regenerated report.
+
+use netrel_obs::report::diff_reports;
+use netrel_obs::BenchReport;
+
+fn load(path: &str) -> BenchReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read report {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse report {path}: {e:?}"))
+}
+
+fn main() {
+    let mut paths = Vec::new();
+    let mut tol = 0.5f64;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--tol=") {
+            tol = v.parse().expect("--tol takes a float (relative tolerance)");
+        } else if arg == "--help" || arg == "-h" {
+            eprintln!("usage: bench-diff <baseline.json> <fresh.json> [--tol=0.5]");
+            return;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench-diff <baseline.json> <fresh.json> [--tol=0.5]");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+
+    let violations = diff_reports(&baseline, &fresh, tol);
+    if violations.is_empty() {
+        println!(
+            "ok: {} rows within ±{:.0}% of {baseline_path}",
+            fresh.rows.len(),
+            tol * 100.0
+        );
+        return;
+    }
+    eprintln!(
+        "{} violation(s) against {baseline_path} (tolerance ±{:.0}%):",
+        violations.len(),
+        tol * 100.0
+    );
+    for v in &violations {
+        eprintln!(
+            "  {}.{}: baseline {} vs fresh {} (ratio {:.3})",
+            v.row, v.field, v.baseline, v.fresh, v.ratio
+        );
+    }
+    std::process::exit(1);
+}

@@ -2,38 +2,21 @@
 //! independent one-shot `pro_reliability` calls, on the Tokyo-like (road,
 //! tree-like) and DBLP-like (coauthor, dense-core) generators.
 //!
-//! Writes `BENCH_engine.json` (override with `--json=`) so future PRs have a
-//! perf trajectory to compare against. `--scale=` sizes the graphs.
+//! Writes `BENCH_engine.json` (override with `--json=`) in the unified
+//! [`netrel_obs::BenchReport`] schema, with cache counters taken from the
+//! engine's metrics snapshot, so future PRs can compare runs with
+//! `bench-diff`. `--scale=` sizes the graphs.
 
 use netrel_bench::{fmt_secs, maybe_dump_json, overlapping_terminal_pairs, parse_args, time};
 use netrel_core::{pro_reliability, ProConfig};
 use netrel_datasets::Dataset;
-use netrel_engine::{Engine, EngineConfig, QueryAnswer, ReliabilityQuery};
+use netrel_engine::{Engine, EngineConfig, QueryAnswer, Recorder, ReliabilityQuery};
+use netrel_obs::{BenchReport, BenchRow, CacheCounts, RouteCounts};
 use netrel_s2bdd::S2BddConfig;
-use serde::Serialize;
 
 const QUERIES: usize = 100;
 const DISTINCT_PAIRS: usize = 10;
 const BATCH: usize = 10;
-
-#[derive(Clone, Debug, Serialize)]
-struct Row {
-    dataset: String,
-    vertices: usize,
-    edges: usize,
-    queries: usize,
-    distinct_pairs: usize,
-    oneshot_secs: f64,
-    cold_secs: f64,
-    warm_secs: f64,
-    oneshot_qps: f64,
-    cold_qps: f64,
-    warm_qps: f64,
-    cold_speedup: f64,
-    warm_speedup: f64,
-    cache_hits: u64,
-    cache_misses: u64,
-}
 
 fn main() {
     let mut args = parse_args();
@@ -50,7 +33,7 @@ fn main() {
         ..Default::default()
     };
 
-    let mut rows = Vec::new();
+    let mut report = BenchReport::new("engine_throughput", args.scale, args.seed);
     println!(
         "{:<8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "dataset", "oneshot", "cold", "warm", "cold q/s", "warm q/s", "cold x", "warm x"
@@ -71,7 +54,9 @@ fn main() {
         });
 
         // Cold engine: index build + batched answering in arrival order.
-        let mut engine = Engine::new(EngineConfig::sequential());
+        // The live recorder demonstrates (and regression-guards) that the
+        // instrumented hot path keeps its throughput.
+        let mut engine = Engine::with_recorder(EngineConfig::sequential(), Recorder::enabled());
         let id = engine.register(ds.spec().abbr, g.clone());
         let (cold, cold_secs) = time(|| run_chunks(&engine, id, &queries));
 
@@ -83,38 +68,49 @@ fn main() {
             assert_eq!(s.estimate.to_bits(), w.estimate.to_bits(), "warm mismatch");
         }
 
-        let stats = engine.cache_stats();
-        let row = Row {
-            dataset: ds.spec().abbr.to_string(),
-            vertices: g.num_vertices(),
-            edges: g.num_edges(),
-            queries: QUERIES,
-            distinct_pairs: DISTINCT_PAIRS,
-            oneshot_secs,
-            cold_secs,
-            warm_secs,
-            oneshot_qps: QUERIES as f64 / oneshot_secs,
-            cold_qps: QUERIES as f64 / cold_secs,
-            warm_qps: QUERIES as f64 / warm_secs,
-            cold_speedup: oneshot_secs / cold_secs,
-            warm_speedup: oneshot_secs / warm_secs,
-            cache_hits: stats.hits,
-            cache_misses: stats.misses,
+        let snapshot = engine.metrics_snapshot().expect("recorder is enabled");
+        let cold_qps = QUERIES as f64 / cold_secs;
+        let warm_qps = QUERIES as f64 / warm_secs;
+        let row = BenchRow {
+            name: ds.spec().abbr.to_string(),
+            semantics: "k-terminal".to_string(),
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges() as u64,
+            queries: QUERIES as u64,
+            secs: cold_secs,
+            qps: cold_qps,
+            // The classic path routes nothing through the planner.
+            routes: RouteCounts::default(),
+            cache: CacheCounts {
+                hits: snapshot.cache_hits,
+                misses: snapshot.cache_misses,
+                evictions: snapshot.cache_evictions,
+                entries: engine.cache_stats().entries as u64,
+            },
+            extra: vec![
+                ("oneshot_secs".to_string(), oneshot_secs),
+                ("warm_secs".to_string(), warm_secs),
+                ("oneshot_qps".to_string(), QUERIES as f64 / oneshot_secs),
+                ("warm_qps".to_string(), warm_qps),
+                ("cold_speedup".to_string(), oneshot_secs / cold_secs),
+                ("warm_speedup".to_string(), oneshot_secs / warm_secs),
+                ("distinct_pairs".to_string(), DISTINCT_PAIRS as f64),
+            ],
         };
         println!(
             "{:<8} {:>9} {:>9} {:>10} {:>10.1} {:>10.1} {:>7.1}x {:>7.1}x",
-            row.dataset,
-            fmt_secs(row.oneshot_secs),
-            fmt_secs(row.cold_secs),
-            fmt_secs(row.warm_secs),
-            row.cold_qps,
-            row.warm_qps,
-            row.cold_speedup,
-            row.warm_speedup,
+            row.name,
+            fmt_secs(oneshot_secs),
+            fmt_secs(cold_secs),
+            fmt_secs(warm_secs),
+            cold_qps,
+            warm_qps,
+            oneshot_secs / cold_secs,
+            oneshot_secs / warm_secs,
         );
-        rows.push(row);
+        report.rows.push(row);
     }
-    maybe_dump_json(&args, &rows);
+    maybe_dump_json(&args, &report);
 }
 
 /// Answer the workload in service-sized batches, preserving query order.

@@ -15,22 +15,25 @@
 //! ```
 
 use netrel_engine::service::Service;
-use netrel_engine::{Engine, EngineConfig};
+use netrel_engine::{Engine, EngineConfig, Recorder};
 use std::io::{self, BufRead, Write};
 
 fn main() {
     let mut workers = 0usize; // 0 = EngineConfig::default() auto-detection
     let mut cache = usize::MAX;
+    let mut metrics = true;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--workers=") {
             workers = v.parse().expect("--workers takes an integer");
         } else if let Some(v) = arg.strip_prefix("--cache=") {
             cache = v.parse().expect("--cache takes an integer (entries)");
+        } else if arg == "--no-metrics" {
+            metrics = false;
         } else if arg == "--help" || arg == "-h" {
-            eprintln!("usage: netrel-serve [--workers=N] [--cache=ENTRIES]");
-            eprintln!("NDJSON protocol: register/query/batch/stats, planner budgets, CI fields —");
-            eprintln!("documented in docs/protocol.md (netcat/curl examples included) and the");
-            eprintln!("`netrel_engine::service` rustdoc.");
+            eprintln!("usage: netrel-serve [--workers=N] [--cache=ENTRIES] [--no-metrics]");
+            eprintln!("NDJSON protocol: register/query/batch/stats/metrics, planner budgets,");
+            eprintln!("CI fields, and `trace` — documented in docs/protocol.md (netcat/curl");
+            eprintln!("examples included) and the `netrel_engine::service` rustdoc.");
             return;
         } else {
             eprintln!("warning: unknown argument {arg:?} ignored");
@@ -44,7 +47,12 @@ fn main() {
         cfg.plan_cache_capacity = cache;
     }
 
-    let mut service = Service::new(Engine::new(cfg));
+    let recorder = if metrics {
+        Recorder::enabled()
+    } else {
+        Recorder::noop()
+    };
+    let mut service = Service::new(Engine::with_recorder(cfg, recorder));
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();

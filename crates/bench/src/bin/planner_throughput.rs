@@ -3,36 +3,20 @@
 //! CI-carrying answers, plus the planner's overhead on sparse workloads
 //! where it must pick the exact route.
 //!
-//! Writes `BENCH_planner.json` (override with `--json=`) so future PRs have
-//! a trajectory to compare against. An answer counts as **completed** when
-//! it is exact or its 95% CI is narrower than 0.5 — the capped exact-only
-//! path on a dense graph returns a `[~0, ~1]` envelope and fails that bar.
+//! Writes `BENCH_planner.json` (override with `--json=`) in the unified
+//! [`netrel_obs::BenchReport`] schema, with route and cache counters taken
+//! from each workload engine's metrics snapshot, so future PRs can compare
+//! runs with `bench-diff`. An answer counts as **completed** when it is
+//! exact or its 95% CI is narrower than 0.5 — the capped exact-only path on
+//! a dense graph returns a `[~0, ~1]` envelope and fails that bar.
 
 use netrel_bench::{fmt_secs, maybe_dump_json, parse_args, time};
 use netrel_core::SemanticsSpec;
 use netrel_datasets::{clique, Dataset};
-use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery, ReliabilityQuery, Route};
+use netrel_engine::{Engine, EngineConfig, PlanBudget, PlannedQuery, Recorder, ReliabilityQuery};
+use netrel_obs::{BenchReport, BenchRow, CacheCounts, RouteCounts};
 use netrel_s2bdd::S2BddConfig;
 use netrel_ugraph::UncertainGraph;
-use serde::Serialize;
-
-#[derive(Clone, Debug, Serialize)]
-struct Row {
-    workload: String,
-    semantics: String,
-    vertices: usize,
-    edges: usize,
-    queries: usize,
-    exact_only_secs: f64,
-    exact_only_completed: usize,
-    planner_secs: f64,
-    planner_completed: usize,
-    planner_qps: f64,
-    routes_exact: usize,
-    routes_bounded: usize,
-    routes_sampling: usize,
-    mean_ci_width: f64,
-}
 
 fn informative(exact: bool, ci_width: f64) -> bool {
     exact || ci_width < 0.5
@@ -88,17 +72,19 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
+    let mut report = BenchReport::new("planner_throughput", args.scale, args.seed);
     println!(
         "{:<16} {:>7} {:>9} {:>9} {:>7} {:>7} {:>9} {:>22}",
-        "workload", "queries", "exact", "planner", "ex done", "pl done", "qps", "routes (e/b/s)"
+        "workload", "queries", "exact", "planner", "ex done", "pl done", "qps", "routes (e/b/s/n)"
     );
     for (workload, g, spec, terminal_sets) in workloads {
         let n_queries = terminal_sets.len();
-        let mut engine = Engine::new(EngineConfig::sequential());
+        let mut engine = Engine::with_recorder(EngineConfig::sequential(), Recorder::enabled());
         let id = engine.register(workload.clone(), g.clone());
 
-        // Exact-only under the same node cap the planner gets.
+        // Exact-only under the same node cap the planner gets. The classic
+        // path bumps no route counters, so the snapshot below isolates the
+        // planner run's routing.
         let exact_queries: Vec<ReliabilityQuery> = terminal_sets
             .iter()
             .map(|t| {
@@ -126,8 +112,11 @@ fn main() {
             })
             .count();
 
-        // The planner, fresh cache, same budget.
+        // The planner, fresh cache, same budget. Cache counters for the row
+        // are deltas across the planner run alone, so the exact-only phase
+        // cannot skew them.
         engine.clear_cache();
+        let before = engine.metrics_snapshot().expect("recorder is enabled");
         let planned: Vec<PlannedQuery> = terminal_sets
             .iter()
             .map(|t| {
@@ -140,60 +129,66 @@ fn main() {
             })
             .collect();
         let (answers, planner_secs) = time(|| engine.run_planned_batch(id, &planned).unwrap());
+        let after = engine.metrics_snapshot().expect("recorder is enabled");
 
         let (mut done, mut ci_sum) = (0usize, 0.0f64);
-        let (mut re, mut rb, mut rs) = (0usize, 0usize, 0usize);
         for a in &answers {
             let a = a.as_ref().unwrap();
             if informative(a.exact, a.ci.width()) {
                 done += 1;
             }
             ci_sum += a.ci.width();
-            for r in &a.routes {
-                match r {
-                    Route::Exact => re += 1,
-                    Route::Bounded => rb += 1,
-                    Route::Sampling => rs += 1,
-                }
-            }
         }
+        let routes = RouteCounts {
+            exact: after.routes.exact - before.routes.exact,
+            bounded: after.routes.bounded - before.routes.bounded,
+            sampling: after.routes.sampling - before.routes.sampling,
+            enumeration: after.routes.enumeration - before.routes.enumeration,
+        };
 
-        let row = Row {
-            workload: workload.clone(),
+        let row = BenchRow {
+            name: workload.clone(),
             semantics: spec.name().into(),
-            vertices: g.num_vertices(),
-            edges: g.num_edges(),
-            queries: n_queries,
-            exact_only_secs,
-            exact_only_completed,
-            planner_secs,
-            planner_completed: done,
-            planner_qps: n_queries as f64 / planner_secs,
-            routes_exact: re,
-            routes_bounded: rb,
-            routes_sampling: rs,
-            mean_ci_width: ci_sum / n_queries as f64,
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges() as u64,
+            queries: n_queries as u64,
+            secs: planner_secs,
+            qps: n_queries as f64 / planner_secs,
+            routes,
+            cache: CacheCounts {
+                hits: after.cache_hits - before.cache_hits,
+                misses: after.cache_misses - before.cache_misses,
+                evictions: after.cache_evictions - before.cache_evictions,
+                entries: engine.cache_stats().entries as u64,
+            },
+            extra: vec![
+                ("exact_only_secs".to_string(), exact_only_secs),
+                (
+                    "exact_only_completed".to_string(),
+                    exact_only_completed as f64,
+                ),
+                ("planner_completed".to_string(), done as f64),
+                ("mean_ci_width".to_string(), ci_sum / n_queries as f64),
+            ],
         };
         println!(
-            "{:<16} {:>7} {:>9} {:>9} {:>4}/{:<2} {:>4}/{:<2} {:>9.1} {:>10}/{}/{}",
-            row.workload,
+            "{:<16} {:>7} {:>9} {:>9} {:>4}/{:<2} {:>4}/{:<2} {:>9.1} {:>8}/{}/{}/{}",
+            row.name,
             row.queries,
-            fmt_secs(row.exact_only_secs),
-            fmt_secs(row.planner_secs),
-            row.exact_only_completed,
+            fmt_secs(exact_only_secs),
+            fmt_secs(planner_secs),
+            exact_only_completed,
             row.queries,
-            row.planner_completed,
+            done,
             row.queries,
-            row.planner_qps,
-            row.routes_exact,
-            row.routes_bounded,
-            row.routes_sampling,
+            row.qps,
+            row.routes.exact,
+            row.routes.bounded,
+            row.routes.sampling,
+            row.routes.enumeration,
         );
-        assert_eq!(
-            row.planner_completed, row.queries,
-            "the planner must complete every query"
-        );
-        rows.push(row);
+        assert_eq!(done, n_queries, "the planner must complete every query");
+        report.rows.push(row);
     }
-    maybe_dump_json(&args, &rows);
+    maybe_dump_json(&args, &report);
 }

@@ -229,6 +229,7 @@ pub fn dhop_exact_part(part: &SemPart, d: u32) -> Result<S2BddResult, GraphError
         layers_total: m,
         early_exit: false,
         node_cap_hit: false,
+        nodes_created: 0,
         trajectory: None,
     })
 }
@@ -260,6 +261,7 @@ pub fn sample_dhop_part(
         layers_total: part.graph.num_edges(),
         early_exit: false,
         node_cap_hit: false,
+        nodes_created: 0,
         trajectory: None,
     })
 }

@@ -265,6 +265,7 @@ pub fn sample_part_result(
         layers_total: g.num_edges(),
         early_exit: false,
         node_cap_hit: false,
+        nodes_created: 0,
         trajectory: None,
     })
 }

@@ -343,6 +343,7 @@ impl Semantics for KTerminal {
         terminals: &[VertexId],
         cfg: PreprocessConfig,
     ) -> Result<SemanticsPlan, GraphError> {
+        let _span = netrel_obs::trace::span("plan.k-terminal");
         let pre = preprocess_with_index(g, index, terminals, cfg)?;
         Ok(SemanticsPlan::from_preprocessed(self.spec(), pre))
     }
@@ -362,6 +363,7 @@ impl Semantics for TwoTerminal {
         terminals: &[VertexId],
         cfg: PreprocessConfig,
     ) -> Result<SemanticsPlan, GraphError> {
+        let _span = netrel_obs::trace::span("plan.two-terminal");
         let t = g.validate_terminals(terminals)?;
         if t.len() != 2 {
             return Err(GraphError::InvalidTerminals {
@@ -391,6 +393,7 @@ impl Semantics for AllTerminal {
         _terminals: &[VertexId],
         cfg: PreprocessConfig,
     ) -> Result<SemanticsPlan, GraphError> {
+        let _span = netrel_obs::trace::span("plan.all-terminal");
         if g.num_vertices() == 0 {
             return Err(GraphError::InvalidTerminals {
                 reason: "all-terminal semantics on an empty graph".into(),
@@ -422,6 +425,7 @@ impl Semantics for DHop {
         terminals: &[VertexId],
         cfg: PreprocessConfig,
     ) -> Result<SemanticsPlan, GraphError> {
+        let _span = netrel_obs::trace::span("plan.d-hop");
         let t = g.validate_terminals(terminals)?;
         if t.len() != 2 {
             return Err(GraphError::InvalidTerminals {
@@ -513,6 +517,7 @@ impl Semantics for ReachSet {
         terminals: &[VertexId],
         cfg: PreprocessConfig,
     ) -> Result<SemanticsPlan, GraphError> {
+        let _span = netrel_obs::trace::span("plan.reach-set");
         let t = g.validate_terminals(terminals)?;
         if t.len() != 1 {
             return Err(GraphError::InvalidTerminals {
@@ -674,6 +679,7 @@ fn is_identity(parts: &[usize], n: usize) -> bool {
 /// has exactly one group, else 1.0 (a multi-group plan has no single bridge
 /// factor).
 pub fn combine_semantics_plan(plan: &SemanticsPlan, solved: Vec<S2BddResult>) -> ProResult {
+    let _span = netrel_obs::trace::span("combine");
     if plan.trivially_zero {
         return zero_pro_result(plan.stats);
     }

@@ -110,6 +110,20 @@ pub struct CacheStats {
 struct Entry {
     result: S2BddResult,
     last_used: u64,
+    /// Registry index of the graph whose query produced this entry, for
+    /// per-graph occupancy reporting. Not part of the key: structurally
+    /// identical parts from different graphs intentionally share entries,
+    /// and a shared entry is attributed to its most recent producer.
+    owner: usize,
+}
+
+/// What [`PlanCache::insert`] did, for the caller's metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct Inserted {
+    /// Whether the entry was stored (false only when capacity is 0).
+    pub stored: bool,
+    /// Tick age (`now − last_used`) of the entry evicted to make room.
+    pub evicted_age: Option<u64>,
 }
 
 /// LRU cache of part-level solver results.
@@ -158,22 +172,29 @@ impl PlanCache {
         }
     }
 
-    /// Store a solved plan, evicting the least-recently-used entry if the
-    /// cache is full. Re-inserting an existing key refreshes its recency.
-    pub fn insert(&mut self, key: PlanKey, result: S2BddResult) {
+    /// Store a solved plan for the graph at registry index `owner`,
+    /// evicting the least-recently-used entry if the cache is full.
+    /// Re-inserting an existing key refreshes its recency (and owner).
+    /// Returns what happened, including the tick age of any evicted entry.
+    pub fn insert(&mut self, key: PlanKey, result: S2BddResult, owner: usize) -> Inserted {
         if self.capacity == 0 {
-            return;
+            return Inserted {
+                stored: false,
+                evicted_age: None,
+            };
         }
         self.tick += 1;
+        let mut evicted_age = None;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(lru) = self
+            if let Some((lru, age)) = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+                .map(|(k, e)| (k.clone(), self.tick - e.last_used))
             {
                 self.map.remove(&lru);
                 self.evictions += 1;
+                evicted_age = Some(age);
             }
         }
         self.map.insert(
@@ -181,13 +202,34 @@ impl PlanCache {
             Entry {
                 result,
                 last_used: self.tick,
+                owner,
             },
         );
+        Inserted {
+            stored: true,
+            evicted_age,
+        }
     }
 
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Live entries attributed to each of `num_owners` graphs (index =
+    /// registry index; entries with an out-of-range owner are dropped).
+    /// O(len) — this backs the service's `stats` op, not a hot path. The
+    /// counts are computed from the live map, so they stay correct across
+    /// [`PlanCache::clear`] and evictions (reset-safe occupancy, unlike the
+    /// monotone hit/miss counters).
+    pub fn entries_by_owner(&self, num_owners: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_owners];
+        for entry in self.map.values() {
+            if let Some(c) = counts.get_mut(entry.owner) {
+                *c += 1;
+            }
+        }
+        counts
     }
 
     /// Whether the cache holds no entries.
@@ -246,6 +288,7 @@ mod tests {
             layers_total: 0,
             early_exit: false,
             node_cap_hit: false,
+            nodes_created: 0,
             trajectory: None,
         }
     }
@@ -255,7 +298,7 @@ mod tests {
         let mut c = PlanCache::new(8);
         let k = key(1, S2BddConfig::default());
         assert!(c.get(&k).is_none());
-        c.insert(k.clone(), result(0.5));
+        c.insert(k.clone(), result(0.5), 0);
         assert_eq!(c.get(&k).unwrap().estimate, 0.5);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -266,11 +309,11 @@ mod tests {
         let mut c = PlanCache::new(2);
         let cfg = S2BddConfig::default();
         let (k1, k2, k3) = (key(1, cfg), key(2, cfg), key(3, cfg));
-        c.insert(k1.clone(), result(0.1));
-        c.insert(k2.clone(), result(0.2));
+        c.insert(k1.clone(), result(0.1), 0);
+        c.insert(k2.clone(), result(0.2), 0);
         // Touch k1 so k2 becomes the LRU entry.
         assert!(c.get(&k1).is_some());
-        c.insert(k3.clone(), result(0.3));
+        c.insert(k3.clone(), result(0.3), 0);
         assert_eq!(c.len(), 2);
         assert!(c.get(&k2).is_none(), "k2 was LRU and must be evicted");
         assert!(c.get(&k1).is_some());
@@ -284,12 +327,12 @@ mod tests {
         let cfg = S2BddConfig::default();
         let keys: Vec<PlanKey> = (0..3).map(|i| key(i, cfg)).collect();
         for (i, k) in keys.iter().enumerate() {
-            c.insert(k.clone(), result(i as f64 / 10.0));
+            c.insert(k.clone(), result(i as f64 / 10.0), 0);
         }
         // Refresh insertion-oldest entries; the middle one becomes LRU.
         assert!(c.get(&keys[0]).is_some());
         assert!(c.get(&keys[2]).is_some());
-        c.insert(key(9, cfg), result(0.9));
+        c.insert(key(9, cfg), result(0.9), 0);
         assert!(c.get(&keys[1]).is_none(), "recency order, not FIFO");
         assert!(c.get(&keys[0]).is_some());
     }
@@ -328,7 +371,7 @@ mod tests {
             },
         ];
         let mut c = PlanCache::new(64);
-        c.insert(key(1, base), result(0.5));
+        c.insert(key(1, base), result(0.5), 0);
         for v in variants {
             assert_ne!(key(1, base), key(1, v), "{v:?} must change the key");
             assert!(c.get(&key(1, v)).is_none(), "{v:?} aliased a cache entry");
@@ -357,7 +400,7 @@ mod tests {
         );
         assert_ne!(s2bdd_key, sampling_key);
         let mut c = PlanCache::new(8);
-        c.insert(s2bdd_key, result(0.5));
+        c.insert(s2bdd_key, result(0.5), 0);
         assert!(c.get(&sampling_key).is_none());
     }
 
@@ -389,7 +432,7 @@ mod tests {
         );
         assert_ne!(connectivity, dhop);
         let mut c = PlanCache::new(8);
-        c.insert(connectivity.clone(), result(0.5));
+        c.insert(connectivity.clone(), result(0.5), 0);
         assert!(c.get(&dhop).is_none(), "d-hop aliased a connectivity entry");
         assert!(c.get(&connectivity).is_some());
     }
@@ -414,7 +457,7 @@ mod tests {
         };
         assert_ne!(mk(1), mk(2));
         let mut c = PlanCache::new(8);
-        c.insert(mk(1), result(0.25));
+        c.insert(mk(1), result(0.25), 0);
         assert!(c.get(&mk(2)).is_none(), "d=2 aliased a d=1 entry");
         assert!(c.get(&mk(1)).is_some());
     }
@@ -442,7 +485,7 @@ mod tests {
         assert_ne!(two, three);
         assert_ne!(three, four);
         let mut c = PlanCache::new(8);
-        c.insert(two.clone(), result(0.5));
+        c.insert(two.clone(), result(0.5), 0);
         assert!(c.get(&three).is_none());
         assert!(c.get(&four).is_none());
     }
@@ -462,10 +505,33 @@ mod tests {
     fn zero_capacity_disables_storage() {
         let mut c = PlanCache::new(0);
         let k = key(1, S2BddConfig::default());
-        c.insert(k.clone(), result(0.5));
+        c.insert(k.clone(), result(0.5), 0);
         assert!(c.get(&k).is_none());
         assert!(c.is_empty());
         assert_eq!(c.stats().capacity, 0);
+    }
+
+    #[test]
+    fn per_owner_occupancy_and_eviction_age() {
+        let mut c = PlanCache::new(2);
+        let cfg = S2BddConfig::default();
+        c.insert(key(1, cfg), result(0.1), 0);
+        c.insert(key(2, cfg), result(0.2), 1);
+        assert_eq!(c.entries_by_owner(2), vec![1, 1]);
+        // k1 is least recently used; the third insert evicts it and reports
+        // a positive tick age.
+        let ins = c.insert(key(3, cfg), result(0.3), 1);
+        assert!(ins.stored);
+        assert!(ins.evicted_age.is_some_and(|a| a > 0));
+        assert_eq!(c.entries_by_owner(2), vec![0, 2]);
+        // Occupancy is recomputed from the live map: reset-safe.
+        c.clear();
+        assert_eq!(c.entries_by_owner(2), vec![0, 0]);
+        // Disabled cache stores nothing and says so.
+        let mut off = PlanCache::new(0);
+        let ins = off.insert(key(4, cfg), result(0.4), 0);
+        assert!(!ins.stored);
+        assert!(ins.evicted_age.is_none());
     }
 
     #[test]
@@ -473,9 +539,9 @@ mod tests {
         let mut c = PlanCache::new(2);
         let cfg = S2BddConfig::default();
         let (k1, k2) = (key(1, cfg), key(2, cfg));
-        c.insert(k1.clone(), result(0.1));
-        c.insert(k2.clone(), result(0.2));
-        c.insert(k1.clone(), result(0.15));
+        c.insert(k1.clone(), result(0.1), 0);
+        c.insert(k2.clone(), result(0.2), 0);
+        c.insert(k1.clone(), result(0.15), 0);
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.get(&k1).unwrap().estimate, 0.15);

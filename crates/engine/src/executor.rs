@@ -8,50 +8,86 @@
 //! workers run or how the schedule lands.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-/// Run `f(0..n)` and return the results in index order. With `workers <= 1`
-/// (or fewer than two jobs) this is a plain sequential loop; otherwise
-/// `min(workers, n)` scoped threads pull job indices from a shared atomic
-/// counter. `f` must be deterministic per index for the parallel and
-/// sequential paths to agree (solver jobs are: their seeds come from the
-/// job, not the thread).
-pub(crate) fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+/// Run `f(0..n)` and return the results in index order, plus optional
+/// per-worker busy timing. With `workers <= 1` (or fewer than two jobs)
+/// this is a plain sequential loop; otherwise `min(workers, n)` scoped
+/// threads pull job indices from a shared atomic counter. `f` must be
+/// deterministic per index for the parallel and sequential paths to agree
+/// (solver jobs are: their seeds come from the job, not the thread). With
+/// `timed == true`, the second return value holds each worker's total
+/// in-job time (one entry for the sequential path); with `timed == false`
+/// it is empty and no clock is ever read — the instrumentation must cost
+/// nothing when observability is off. Timing never affects scheduling or
+/// results: the clock reads bracket `f` without touching the job counter.
+pub(crate) fn run_indexed_timed<T, F>(
+    n: usize,
+    workers: usize,
+    timed: bool,
+    f: F,
+) -> (Vec<T>, Vec<Duration>)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        if !timed {
+            return ((0..n).map(f).collect(), Vec::new());
+        }
+        let start = Instant::now();
+        let out = (0..n).map(f).collect();
+        return (out, vec![start.elapsed()]);
     }
     let next = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, T)> = std::thread::scope(|scope| {
+    let per_worker: Vec<(Vec<(usize, T)>, Duration)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(n))
             .map(|_| {
                 scope.spawn(|| {
                     let mut out = Vec::new();
+                    let mut busy = Duration::ZERO;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        if timed {
+                            let t0 = Instant::now();
+                            out.push((i, f(i)));
+                            busy += t0.elapsed();
+                        } else {
+                            out.push((i, f(i)));
+                        }
                     }
-                    out
+                    (out, busy)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("engine worker panicked"))
+            .map(|h| h.join().expect("engine worker panicked"))
             .collect()
     });
+    let mut busy_times = Vec::new();
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    for (out, busy) in per_worker {
+        if timed {
+            busy_times.push(busy);
+        }
+        collected.extend(out);
+    }
     collected.sort_unstable_by_key(|&(i, _)| i);
-    collected.into_iter().map(|(_, t)| t).collect()
+    (collected.into_iter().map(|(_, t)| t).collect(), busy_times)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Untimed convenience wrapper for result-ordering tests.
+    fn run_indexed<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        run_indexed_timed(n, workers, false, f).0
+    }
 
     #[test]
     fn sequential_and_parallel_agree_in_order() {
@@ -71,5 +107,19 @@ mod tests {
     #[test]
     fn more_workers_than_jobs() {
         assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timed_run_returns_same_results_plus_busy_times() {
+        let f = |i: usize| i * 3;
+        let (plain, none) = run_indexed_timed(20, 4, false, f);
+        assert!(none.is_empty(), "untimed runs must not report timings");
+        let (timed, busy) = run_indexed_timed(20, 4, true, f);
+        assert_eq!(plain, timed);
+        assert!(!busy.is_empty() && busy.len() <= 4);
+        // Sequential timed path reports exactly one worker.
+        let (seq, busy) = run_indexed_timed(20, 1, true, f);
+        assert_eq!(seq, plain);
+        assert_eq!(busy.len(), 1);
     }
 }

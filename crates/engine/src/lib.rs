@@ -65,13 +65,18 @@ use netrel_core::{
     SemanticsPlan, SemanticsSpec, DHOP_EXACT_EDGE_LIMIT,
 };
 use netrel_numeric::{normal_ci, ConfidenceInterval};
+use netrel_obs::trace as obs_trace;
+use netrel_obs::TraceBuilder;
 use netrel_preprocess::GraphIndex;
 use netrel_s2bdd::{S2BddConfig, S2BddResult};
 use netrel_ugraph::{GraphError, UncertainGraph, VertexId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use netrel_obs::{MetricsSnapshot, QueryTrace, Recorder};
 pub use planner::{plan_part, CostEstimate, PartPlan, PartSolver, PlanBudget, Route};
 
 /// Engine-level configuration.
@@ -173,6 +178,10 @@ pub struct PlannedQuery {
     pub config: ProConfig,
     /// Per-query resource budget.
     pub budget: PlanBudget,
+    /// Request a [`QueryTrace`] span tree with the answer (see
+    /// [`PlannedQuery::with_trace`]). Tracing never changes the answer —
+    /// only [`ReliabilityAnswer::trace`].
+    pub trace: bool,
 }
 
 impl PlannedQuery {
@@ -183,6 +192,7 @@ impl PlannedQuery {
             terminals,
             config: ProConfig::default(),
             budget,
+            trace: false,
         }
     }
 
@@ -193,6 +203,7 @@ impl PlannedQuery {
             terminals,
             config,
             budget,
+            trace: false,
         }
     }
 
@@ -208,7 +219,17 @@ impl PlannedQuery {
             terminals,
             config,
             budget,
+            trace: false,
         }
+    }
+
+    /// Opt this query into span tracing: the answer's
+    /// [`ReliabilityAnswer::trace`] carries the full span tree (plan,
+    /// route, cache lookup, per-part solves, combine). Tracing is
+    /// bit-invariant — it reads clocks, never an RNG.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
     }
 }
 
@@ -343,18 +364,26 @@ pub struct ReliabilityAnswer {
     /// Parts of this query that required a solve (or joined an identical
     /// in-batch job).
     pub cache_misses: usize,
+    /// Span tree of this query's execution, present when tracing was
+    /// requested ([`PlannedQuery::with_trace`] or `trace: true` on the
+    /// protocol); `None` otherwise.
+    pub trace: Option<QueryTrace>,
 }
 
 impl ReliabilityAnswer {
-    fn from_pro(
+    fn from_assembled(
         semantics: SemanticsSpec,
-        r: ProResult,
-        routes: Vec<Route>,
+        a: Assembled,
         budget: &PlanBudget,
         value_cap: f64,
-        hits: usize,
-        misses: usize,
     ) -> Self {
+        let Assembled {
+            pro: r,
+            routes,
+            cache_hits: hits,
+            cache_misses: misses,
+            trace,
+        } = a;
         // `value_cap` is the semantics' `value_upper`: 1 for probabilities,
         // `|V|` for reach-set. The probability path goes through `normal_ci`
         // unchanged so k-terminal answers stay bit-identical to the
@@ -417,6 +446,7 @@ impl ReliabilityAnswer {
             routes,
             cache_hits: hits,
             cache_misses: misses,
+            trace,
         }
     }
 }
@@ -425,6 +455,41 @@ struct RegisteredGraph {
     name: String,
     graph: UncertainGraph,
     index: GraphIndex,
+    /// Wall-clock cost of the `GraphIndex` build at registration.
+    index_build: Duration,
+    /// Monotone per-graph cache telemetry (occupancy, by contrast, is
+    /// recomputed live from the cache map — see [`Engine::graph_stats`]).
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_inserts: AtomicU64,
+}
+
+/// Per-graph registration and cache telemetry, serializable for the
+/// service's `stats` op.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct GraphStats {
+    /// Registered name.
+    pub name: String,
+    /// Whether this registration is the one the name currently resolves to
+    /// (re-registering a name keeps the old graph reachable by id).
+    pub active: bool,
+    /// Vertices in the graph.
+    pub vertices: usize,
+    /// Edges in the graph.
+    pub edges: usize,
+    /// Seconds spent building the terminal-independent [`GraphIndex`].
+    pub index_build_secs: f64,
+    /// Parts of this graph's queries served from the plan cache.
+    pub cache_hits: u64,
+    /// Parts that required a solve (or joined an in-batch job).
+    pub cache_misses: u64,
+    /// Results this graph's queries published to the plan cache.
+    pub cache_inserts: u64,
+    /// Plan-cache entries currently attributed to this graph — live
+    /// occupancy recomputed from the cache map, so it is reset-safe
+    /// (drops to 0 on [`Engine::clear_cache`], decays under eviction)
+    /// while the counters above stay monotone.
+    pub cache_entries: usize,
 }
 
 /// The batched multi-query reliability engine. See the crate docs for the
@@ -434,6 +499,11 @@ pub struct Engine {
     graphs: Vec<RegisteredGraph>,
     by_name: HashMap<String, usize>,
     cache: Mutex<PlanCache>,
+    /// Metrics recorder — the no-op by default ([`Engine::new`]), live when
+    /// constructed via [`Engine::with_recorder`]. Recording is passive
+    /// (atomic counters and clock reads only), so answers are bit-identical
+    /// either way.
+    obs: Recorder,
 }
 
 /// Where a query's part result comes from during batch assembly.
@@ -457,6 +527,10 @@ struct PreparedQuery {
     sources: Vec<PartSource>,
     cache_hits: usize,
     cache_misses: usize,
+    /// Span builder for this query, carried from planning (which already
+    /// recorded plan/preprocess spans into it) through execution; `None`
+    /// when the query did not opt into tracing.
+    trace: Option<TraceBuilder>,
 }
 
 /// A recombined query outcome plus its routing/caching telemetry — the
@@ -466,6 +540,7 @@ struct Assembled {
     routes: Vec<Route>,
     cache_hits: usize,
     cache_misses: usize,
+    trace: Option<QueryTrace>,
 }
 
 /// Materialize the classic-path (non-planned) solver for one part,
@@ -492,14 +567,31 @@ fn classic_solver(part: &SemPart, base: S2BddConfig, part_index: usize) -> PartS
 }
 
 impl Engine {
-    /// A new engine with the given configuration.
+    /// A new engine with the given configuration and the no-op recorder.
     pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_recorder(cfg, Recorder::noop())
+    }
+
+    /// A new engine recording metrics into `obs` (use
+    /// [`Recorder::enabled`] for a live catalogue; the service does).
+    pub fn with_recorder(cfg: EngineConfig, obs: Recorder) -> Self {
         Engine {
             cfg,
             graphs: Vec::new(),
             by_name: HashMap::new(),
             cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+            obs,
         }
+    }
+
+    /// The engine's metrics recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Snapshot of the metric catalogue (`None` for the no-op recorder).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.obs.snapshot()
     }
 
     /// Register a graph under `name`, computing its terminal-independent
@@ -507,10 +599,23 @@ impl Engine {
     /// graph; previously returned ids stay valid for the old one.
     pub fn register(&mut self, name: impl Into<String>, graph: UncertainGraph) -> GraphId {
         let name = name.into();
+        let t0 = Instant::now();
         let index = GraphIndex::build(&graph);
+        let index_build = t0.elapsed();
+        if let Some(m) = self.obs.metrics() {
+            m.index_build_seconds.observe_duration(index_build);
+        }
         let id = self.graphs.len();
         self.by_name.insert(name.clone(), id);
-        self.graphs.push(RegisteredGraph { name, graph, index });
+        self.graphs.push(RegisteredGraph {
+            name,
+            graph,
+            index,
+            index_build,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_inserts: AtomicU64::new(0),
+        });
         GraphId(id)
     }
 
@@ -568,6 +673,7 @@ impl Engine {
         queries: &[ReliabilityQuery],
     ) -> Result<Vec<Result<QueryAnswer, EngineError>>, EngineError> {
         let rg = self.registered(id)?;
+        let metrics = self.obs.metrics();
 
         // Stage 1 (classic): semantics planning per query (the
         // terminal-independent structure is shared via `rg.index`); every
@@ -575,24 +681,30 @@ impl Engine {
         let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
             .iter()
             .map(|q| {
+                let t0 = metrics.map(|_| Instant::now());
                 let plan = q.semantics.semantics().plan(
                     &rg.graph,
                     &rg.index,
                     &q.terminals,
                     q.config.preprocess,
                 )?;
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.plan_seconds.observe_duration(t0.elapsed());
+                    m.queries_classic.inc();
+                    m.parts_per_query.observe_count(plan.parts.len());
+                }
                 let solvers: Vec<PartSolver> = plan
                     .parts
                     .iter()
                     .enumerate()
                     .map(|(pi, part)| classic_solver(part, q.config.s2bdd, pi))
                     .collect();
-                Ok(Self::prepared(plan, solvers, Vec::new()))
+                Ok(Self::prepared(plan, solvers, Vec::new(), None))
             })
             .collect();
 
         let answers = self
-            .execute(prepared)
+            .execute(id.0, prepared)
             .into_iter()
             .zip(queries)
             .map(|(a, q)| {
@@ -643,52 +755,89 @@ impl Engine {
         queries: &[PlannedQuery],
     ) -> Result<Vec<Result<ReliabilityAnswer, EngineError>>, EngineError> {
         let rg = self.registered(id)?;
+        let metrics = self.obs.metrics();
 
         // Stage 1 (planned): semantics planning, then run the cost model on
-        // every part to materialize its routed solver.
+        // every part to materialize its routed solver. A traced query runs
+        // planning with its builder installed in the thread-local hook, so
+        // the core/preprocess spans ("plan.*", "preprocess.*") nest under
+        // this query's root.
         let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
             .iter()
             .map(|q| {
-                let plan = q.semantics.semantics().plan(
+                let t0 = metrics.map(|_| Instant::now());
+                if q.trace {
+                    obs_trace::install(TraceBuilder::new());
+                }
+                let plan_result = q.semantics.semantics().plan(
                     &rg.graph,
                     &rg.index,
                     &q.terminals,
                     q.config.preprocess,
-                )?;
+                );
+                let mut tb = if q.trace { obs_trace::take() } else { None };
+                let plan = plan_result?; // a failed plan drops its trace
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.plan_seconds.observe_duration(t0.elapsed());
+                    m.queries_planned.inc();
+                    m.parts_per_query.observe_count(plan.parts.len());
+                }
                 // The wall-clock hint covers the whole query: split its
                 // allowance across the decomposition before routing.
                 let part_budget = q.budget.for_parts(plan.parts.len());
+                let route_span = tb.as_mut().map(|b| (b.open("route"), Instant::now()));
                 let plans: Vec<PartPlan> = plan
                     .parts
                     .iter()
                     .enumerate()
                     .map(|(pi, part)| plan_part(part, q.config.s2bdd, pi, &part_budget))
                     .collect();
+                if let Some(m) = metrics {
+                    for p in &plans {
+                        Self::route_counter(m, p).inc();
+                        m.predicted_nodes.observe_count(p.estimate.predicted_nodes);
+                    }
+                }
+                if let (Some(b), Some((Some(id), _))) = (tb.as_mut(), route_span) {
+                    let names: Vec<&str> = plans.iter().map(|p| p.route.name()).collect();
+                    b.attr(id, "routes", names.join(","));
+                    b.close(id);
+                }
                 let solvers = plans.iter().map(|p| p.solver).collect();
                 let routes = plans.iter().map(|p| p.route).collect();
-                Ok(Self::prepared(plan, solvers, routes))
+                Ok(Self::prepared(plan, solvers, routes, tb))
             })
             .collect();
 
         let answers = self
-            .execute(prepared)
+            .execute(id.0, prepared)
             .into_iter()
             .zip(queries)
             .map(|(a, q)| {
                 a.map(|a| {
-                    ReliabilityAnswer::from_pro(
+                    ReliabilityAnswer::from_assembled(
                         q.semantics,
-                        a.pro,
-                        a.routes,
+                        a,
                         &q.budget,
                         q.semantics.semantics().value_upper(&rg.graph),
-                        a.cache_hits,
-                        a.cache_misses,
                     )
                 })
             })
             .collect();
         Ok(answers)
+    }
+
+    /// The catalogue counter a routed part increments. Enumeration is a
+    /// solver, not a [`Route`] (d-hop parts under the exact enumeration
+    /// limit carry `Route::Exact` + [`PartSolver::Enumeration`]), so the
+    /// exposed route breakdown derives from the `(route, solver)` pair.
+    fn route_counter<'m>(m: &'m netrel_obs::Metrics, p: &PartPlan) -> &'m netrel_obs::Counter {
+        match (p.route, p.solver) {
+            (_, PartSolver::Enumeration) => &m.route_enumeration,
+            (Route::Exact, _) => &m.route_exact,
+            (Route::Bounded, _) => &m.route_bounded,
+            (Route::Sampling, _) => &m.route_sampling,
+        }
     }
 
     fn registered(&self, id: GraphId) -> Result<&RegisteredGraph, EngineError> {
@@ -704,6 +853,7 @@ impl Engine {
         plan: SemanticsPlan,
         solvers: Vec<PartSolver>,
         routes: Vec<Route>,
+        trace: Option<TraceBuilder>,
     ) -> PreparedQuery {
         let keys = plan
             .parts
@@ -719,6 +869,7 @@ impl Engine {
             sources: Vec::new(),
             cache_hits: 0,
             cache_misses: 0,
+            trace,
         }
     }
 
@@ -729,8 +880,20 @@ impl Engine {
     /// `semantics_reliability` uses.
     fn execute(
         &self,
+        owner: usize,
         mut prepared: Vec<Result<PreparedQuery, EngineError>>,
     ) -> Vec<Result<Assembled, EngineError>> {
+        let metrics = self.obs.metrics();
+        if let Some(m) = metrics {
+            m.batches.inc();
+        }
+        // Timing is on when either instrument wants it; both are passive
+        // (clock reads only), so answers are unaffected either way.
+        let timed = metrics.is_some()
+            || prepared
+                .iter()
+                .any(|p| p.as_ref().is_ok_and(|p| p.trace.is_some()));
+
         // Plan-cache lookup and in-batch dedup per part, under the lock.
         // Jobs hold `(query, part)` indices into `prepared`, so part graphs
         // are borrowed, never cloned. Keys were built outside the lock, so
@@ -738,10 +901,12 @@ impl Engine {
         let mut jobs: Vec<(usize, usize)> = Vec::new();
         let mut job_ids: HashMap<PlanKey, usize, netrel_numeric::FxBuildHasher> =
             HashMap::default();
+        let (mut total_hits, mut total_misses) = (0u64, 0u64);
         {
             let mut cache = self.cache.lock().expect("plan cache poisoned");
             for (qi, prep) in prepared.iter_mut().enumerate() {
                 let Ok(prep) = prep.as_mut() else { continue };
+                let lookup_start = prep.trace.as_ref().map(|_| Instant::now());
                 let mut sources = Vec::with_capacity(prep.keys.len());
                 for (pi, key) in prep.keys.iter().enumerate() {
                     if let Some(hit) = cache.get(key) {
@@ -757,18 +922,42 @@ impl Engine {
                     }
                 }
                 prep.sources = sources;
+                total_hits += prep.cache_hits as u64;
+                total_misses += prep.cache_misses as u64;
+                if let (Some(b), Some(s)) = (prep.trace.as_mut(), lookup_start) {
+                    if let Some(id) = b.add_timed("cache.lookup", s, Instant::now()) {
+                        b.attr(id, "hits", prep.cache_hits.to_string());
+                        b.attr(id, "misses", prep.cache_misses.to_string());
+                    }
+                }
             }
         } // release the cache lock before solving
+        if let Some(m) = metrics {
+            m.cache_hits.add(total_hits);
+            m.cache_misses.add(total_misses);
+            m.jobs.add(jobs.len() as u64);
+        }
+        if let Some(rg) = self.graphs.get(owner) {
+            rg.cache_hits.fetch_add(total_hits, Ordering::Relaxed);
+            rg.cache_misses.fetch_add(total_misses, Ordering::Relaxed);
+        }
 
         // Stage 2: solve the deduped jobs on the worker pool. Each job's
         // solver is fully materialized (seed included), so results do not
-        // depend on scheduling.
-        let solved: Vec<Result<S2BddResult, GraphError>> =
-            executor::run_indexed(jobs.len(), self.cfg.workers, |j| {
+        // depend on scheduling. When timed, each job also reports the
+        // `(start, end)` instants of its solve — queue wait is measured
+        // from the shared `anchor` just before the pool starts.
+        let anchor = Instant::now();
+        let (solved, worker_busy) = executor::run_indexed_timed(
+            jobs.len(),
+            self.cfg.workers,
+            timed,
+            |j| -> (Result<S2BddResult, GraphError>, Option<(Instant, Instant)>) {
+                let start = timed.then(Instant::now);
                 let (qi, pi) = jobs[j];
                 let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
                 let part = &prep.plan.parts[pi];
-                match prep.solvers[pi] {
+                let result = match prep.solvers[pi] {
                     PartSolver::S2Bdd(cfg) => solve_semantics_part(part, cfg),
                     PartSolver::Enumeration => exact_semantics_part(part),
                     PartSolver::Sampling {
@@ -786,49 +975,161 @@ impl Engine {
                             threads: 1,
                         },
                     ),
+                };
+                (result, start.map(|s| (s, Instant::now())))
+            },
+        );
+        if let Some(m) = metrics {
+            for busy in &worker_busy {
+                m.worker_busy_seconds.observe_duration(*busy);
+            }
+            for (result, span) in &solved {
+                if let Some((s, e)) = span {
+                    m.part_solve_seconds.observe_duration(e.duration_since(*s));
+                    m.queue_wait_seconds
+                        .observe_duration(s.saturating_duration_since(anchor));
                 }
-            });
+                if let Ok(r) = result {
+                    if r.nodes_created > 0 {
+                        m.actual_nodes.observe_count(r.nodes_created);
+                    }
+                    if r.node_cap_hit {
+                        m.node_cap_hits.inc();
+                    }
+                }
+            }
+        }
 
         // Stage 3: publish fresh results to the cache (in job order, for a
         // deterministic eviction sequence), then recombine per query.
         {
             let mut cache = self.cache.lock().expect("plan cache poisoned");
-            for (j, result) in solved.iter().enumerate() {
+            for (j, (result, _)) in solved.iter().enumerate() {
                 if let Ok(r) = result {
                     let (qi, pi) = jobs[j];
                     let prep = prepared[qi].as_ref().expect("jobs come from Ok queries");
-                    cache.insert(prep.keys[pi].clone(), r.clone());
+                    let ins = cache.insert(prep.keys[pi].clone(), r.clone(), owner);
+                    if ins.stored {
+                        if let Some(m) = metrics {
+                            m.cache_insertions.inc();
+                        }
+                        if let Some(rg) = self.graphs.get(owner) {
+                            rg.cache_inserts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if let Some(age) = ins.evicted_age {
+                        if let Some(m) = metrics {
+                            m.cache_evictions.inc();
+                            m.cache_eviction_age.observe_count(age as usize);
+                        }
+                    }
                 }
             }
         }
 
-        prepared
+        let mut errors = 0u64;
+        let out: Vec<Result<Assembled, EngineError>> = prepared
             .into_iter()
             .map(|prep| {
-                let prep = prep?;
+                let mut prep = prep?;
+                let mut tb = prep.trace.take();
                 let mut parts = Vec::with_capacity(prep.sources.len());
-                for source in prep.sources {
-                    match source {
-                        PartSource::Cached(r) => parts.push(r),
-                        PartSource::Job(j) => parts.push(solved[j].clone()?),
+                for (pi, source) in prep.sources.into_iter().enumerate() {
+                    let (result, span) = match source {
+                        PartSource::Cached(r) => (r, None),
+                        PartSource::Job(j) => {
+                            let (r, span) = &solved[j];
+                            (r.clone()?, *span)
+                        }
+                    };
+                    if let Some(b) = tb.as_mut() {
+                        let id = match span {
+                            Some((s, e)) => b.add_timed("part.solve", s, e),
+                            None => {
+                                // Cached (or shared in-batch) part: record a
+                                // zero-width span so the tree stays complete.
+                                let now = Instant::now();
+                                b.add_timed("part.solve", now, now)
+                            }
+                        };
+                        if let Some(id) = id {
+                            b.attr(id, "part", pi.to_string());
+                            b.attr(id, "cached", if span.is_none() { "true" } else { "false" });
+                            if let Some(route) = prep.routes.get(pi) {
+                                b.attr(id, "route", route.name());
+                            }
+                        }
                     }
+                    parts.push(result);
                 }
                 // `combine_semantics_plan` handles trivially-zero plans
                 // (empty parts) and reproduces `combine_part_results` bit
-                // for bit on the classic single-group shape.
+                // for bit on the classic single-group shape. When tracing,
+                // the builder is installed around the call so the core's
+                // "combine" span nests under this query's root.
+                let t0 = metrics.map(|_| Instant::now());
+                let pro = if let Some(b) = tb.take() {
+                    obs_trace::install(b);
+                    let pro = combine_semantics_plan(&prep.plan, parts);
+                    tb = obs_trace::take();
+                    pro
+                } else {
+                    combine_semantics_plan(&prep.plan, parts)
+                };
+                if let (Some(m), Some(t0)) = (metrics, t0) {
+                    m.combine_seconds.observe_duration(t0.elapsed());
+                }
                 Ok(Assembled {
-                    pro: combine_semantics_plan(&prep.plan, parts),
+                    pro,
                     routes: prep.routes,
                     cache_hits: prep.cache_hits,
                     cache_misses: prep.cache_misses,
+                    trace: tb.map(TraceBuilder::finish),
                 })
             })
-            .collect()
+            .inspect(|r| {
+                if r.is_err() {
+                    errors += 1;
+                }
+            })
+            .collect();
+        if let Some(m) = metrics {
+            m.query_errors.add(errors);
+        }
+        out
     }
 
     /// Snapshot of the plan cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("plan cache poisoned").stats()
+    }
+
+    /// Per-graph registration and cache telemetry, in registration order.
+    /// `cache_entries` is recomputed live from the cache map under one
+    /// lock, so occupancies are reset-safe (they drop on
+    /// [`clear_cache`](Engine::clear_cache) and decay under eviction) and
+    /// always sum to at most the cache's current length.
+    pub fn graph_stats(&self) -> Vec<GraphStats> {
+        let occupancy = self
+            .cache
+            .lock()
+            .expect("plan cache poisoned")
+            .entries_by_owner(self.graphs.len());
+        self.graphs
+            .iter()
+            .enumerate()
+            .map(|(i, rg)| GraphStats {
+                name: rg.name.clone(),
+                active: self.by_name.get(&rg.name) == Some(&i),
+                vertices: rg.graph.num_vertices(),
+                edges: rg.graph.num_edges(),
+                index_build_secs: rg.index_build.as_secs_f64(),
+                cache_hits: rg.cache_hits.load(Ordering::Relaxed),
+                cache_misses: rg.cache_misses.load(Ordering::Relaxed),
+                cache_inserts: rg.cache_inserts.load(Ordering::Relaxed),
+                cache_entries: occupancy[i],
+            })
+            .collect()
     }
 
     /// Drop all cached plans (counters are preserved).

@@ -41,18 +41,30 @@
 //! shapes, field tables, netcat/curl examples — is documented in
 //! `docs/protocol.md`.
 //!
+//! ## Observability
+//!
+//! `{"op":"metrics"}` returns the engine's metric catalogue twice: as
+//! `prometheus` (Prometheus text exposition, ready to serve at a scrape
+//! endpoint) and as `metrics` (the same snapshot as structured JSON).
+//! Passing `"trace": true` on a `query` (or on a `batch` or one of its
+//! queries) opts that query into span tracing: the answer carries a
+//! `trace` object with the full span tree of its execution. Tracing
+//! implies the planned path. `stats` reports per-graph registration and
+//! cache telemetry under `per_graph`. See `docs/observability.md`.
+//!
 //! ## Responses
 //!
 //! Every response carries `"ok"`; failures carry `"error"` instead of a
 //! payload. A `batch` response holds one `{ok, answer|error}` object per
 //! query in request order, so one bad query cannot poison a batch.
 
-use crate::{Engine, EngineError, PlanBudget, PlannedQuery, ReliabilityQuery};
+use crate::{Engine, EngineError, PlanBudget, PlannedQuery, Recorder, ReliabilityQuery};
 use netrel_core::{ProConfig, SemanticsSpec};
 use netrel_numeric::ConfidenceLevel;
 use netrel_s2bdd::{EstimatorKind, S2BddConfig};
 use netrel_ugraph::UncertainGraph;
 use serde::{Serialize, Value};
+use std::time::Instant;
 
 /// Stateful NDJSON request handler wrapping an [`Engine`].
 pub struct Service {
@@ -61,7 +73,12 @@ pub struct Service {
 
 impl Default for Service {
     fn default() -> Self {
-        Service::new(Engine::new(crate::EngineConfig::default()))
+        // The service enables metrics by default: a server that cannot be
+        // observed is the wrong default, and recording is near-free.
+        Service::new(Engine::with_recorder(
+            crate::EngineConfig::default(),
+            Recorder::enabled(),
+        ))
     }
 }
 
@@ -80,19 +97,41 @@ impl Service {
     /// newline). Never panics on malformed input — parse and protocol
     /// errors come back as `{"ok":false,"error":...}` responses.
     pub fn handle_line(&mut self, line: &str) -> String {
+        let metrics = self.engine.recorder().metrics().cloned();
+        let t0 = metrics.as_ref().map(|_| Instant::now());
         let response = match serde_json::from_str::<Value>(line) {
             Ok(request) => self.dispatch(&request).unwrap_or_else(err_response),
             Err(e) => err_response(format!("invalid JSON: {e}")),
         };
+        if let Some(m) = &metrics {
+            if let Some(t0) = t0 {
+                m.request_seconds.observe_duration(t0.elapsed());
+            }
+            if response.get("ok") == Some(&Value::Bool(false)) {
+                m.request_errors.inc();
+            }
+        }
         serde_json::to_string(&response).expect("response rendering cannot fail")
     }
 
     fn dispatch(&mut self, request: &Value) -> Result<Value, String> {
-        match str_field(request, "op")? {
+        let op = str_field(request, "op")?;
+        if let Some(m) = self.engine.recorder().metrics() {
+            match op {
+                "register" => m.requests_register.inc(),
+                "query" => m.requests_query.inc(),
+                "batch" => m.requests_batch.inc(),
+                "stats" => m.requests_stats.inc(),
+                "metrics" => m.requests_metrics.inc(),
+                _ => {}
+            }
+        }
+        match op {
             "register" => self.op_register(request),
             "query" => self.op_query(request),
             "batch" => self.op_batch(request),
             "stats" => Ok(self.op_stats()),
+            "metrics" => self.op_metrics(),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -123,15 +162,20 @@ impl Service {
     fn op_query(&mut self, request: &Value) -> Result<Value, String> {
         let id = self.graph_field(request)?;
         let query = parse_query(request, request)?;
-        let answer = if wants_plan(request) {
+        // Tracing rides on the planned path (the classic path has no
+        // per-answer trace slot), so `trace: true` implies planning.
+        let answer = if wants_plan(request) || wants_trace(request) {
             let mut budget = PlanBudget::default();
             apply_budget(request, &mut budget)?;
-            let planned = PlannedQuery::with_semantics(
+            let mut planned = PlannedQuery::with_semantics(
                 query.semantics,
                 query.terminals,
                 query.config,
                 budget,
             );
+            if wants_trace(request) {
+                planned = planned.with_trace();
+            }
             self.engine
                 .run_planned(id, &planned)
                 .map_err(|e: EngineError| e.to_string())?
@@ -160,9 +204,13 @@ impl Service {
             .iter()
             .map(|item| parse_query(item, request))
             .collect::<Result<Vec<_>, _>>()?;
-        // One planned query (or a top-level `plan`/`budget`) plans the whole
-        // batch: budgets layer like solver knobs, batch level first.
-        let rendered: Vec<Value> = if wants_plan(request) || items.iter().any(wants_plan) {
+        // One planned query (or a top-level `plan`/`budget`/`trace`) plans
+        // the whole batch: budgets layer like solver knobs, batch level
+        // first. Tracing is per query: only opted-in slots carry a trace.
+        let planned_batch = wants_plan(request)
+            || wants_trace(request)
+            || items.iter().any(|i| wants_plan(i) || wants_trace(i));
+        let rendered: Vec<Value> = if planned_batch {
             let planned = items
                 .iter()
                 .zip(queries)
@@ -170,12 +218,12 @@ impl Service {
                     let mut budget = PlanBudget::default();
                     apply_budget(request, &mut budget)?;
                     apply_budget(item, &mut budget)?;
-                    Ok(PlannedQuery::with_semantics(
-                        q.semantics,
-                        q.terminals,
-                        q.config,
-                        budget,
-                    ))
+                    let mut planned =
+                        PlannedQuery::with_semantics(q.semantics, q.terminals, q.config, budget);
+                    if wants_trace(request) || wants_trace(item) {
+                        planned = planned.with_trace();
+                    }
+                    Ok(planned)
                 })
                 .collect::<Result<Vec<_>, String>>()?;
             self.engine
@@ -205,12 +253,32 @@ impl Service {
             .graph_names()
             .map(|n| Value::Str(n.into()))
             .collect();
+        let per_graph: Vec<Value> = self
+            .engine
+            .graph_stats()
+            .iter()
+            .map(Serialize::to_value)
+            .collect();
         Value::Map(vec![
             ("ok".into(), Value::Bool(true)),
             ("op".into(), Value::Str("stats".into())),
             ("graphs".into(), Value::Seq(graphs)),
             ("cache".into(), self.engine.cache_stats().to_value()),
+            ("per_graph".into(), Value::Seq(per_graph)),
         ])
+    }
+
+    fn op_metrics(&self) -> Result<Value, String> {
+        let snapshot = self
+            .engine
+            .metrics_snapshot()
+            .ok_or("metrics are disabled on this engine (no recorder installed)")?;
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("metrics".into())),
+            ("prometheus".into(), Value::Str(snapshot.to_prometheus())),
+            ("metrics".into(), snapshot.to_value()),
+        ]))
     }
 
     fn graph_field(&self, request: &Value) -> Result<crate::GraphId, String> {
@@ -241,6 +309,11 @@ fn answer_slot<T: Serialize>(result: Result<T, EngineError>) -> Value {
 /// Whether one request (or query object) opts into the adaptive planner.
 fn wants_plan(v: &Value) -> bool {
     matches!(v.get("plan"), Some(Value::Bool(true))) || v.get("budget").is_some()
+}
+
+/// Whether one request (or query object) opts into span tracing.
+fn wants_trace(v: &Value) -> bool {
+    matches!(v.get("trace"), Some(Value::Bool(true)))
 }
 
 /// Layer one request object's `budget` fields onto `budget` (absent fields
@@ -701,6 +774,106 @@ mod tests {
             assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
             assert!(matches!(v.get("error"), Some(Value::Str(_))));
         }
+    }
+
+    #[test]
+    fn metrics_op_exposes_routes_cache_and_latency_families() {
+        let mut s = service_with_graph();
+        s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"plan":true}"#);
+        s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"plan":true}"#);
+        let v = parse(&s.handle_line(r#"{"op":"metrics"}"#));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let prom = match v.get("prometheus") {
+            Some(Value::Str(p)) => p,
+            other => panic!("prometheus text missing: {other:?}"),
+        };
+        for family in [
+            "netrel_queries_total{path=\"planned\"}",
+            "netrel_planner_route_total{route=\"exact\"}",
+            "netrel_cache_hits_total",
+            "netrel_cache_misses_total",
+            "netrel_part_solve_seconds_bucket",
+            "netrel_request_seconds_bucket",
+            "netrel_index_build_seconds_bucket",
+            "netrel_requests_total{op=\"metrics\"}",
+        ] {
+            assert!(prom.contains(family), "missing `{family}` in:\n{prom}");
+        }
+        // The JSON twin carries the same counters, structured.
+        let m = v.get("metrics").expect("json snapshot present");
+        assert_eq!(m.get("queries_planned"), Some(&Value::U64(2)));
+        let routes = m.get("routes").expect("route counts present");
+        assert!(matches!(routes.get("exact"), Some(Value::U64(n)) if *n >= 1));
+
+        // An engine without a recorder reports metrics as unavailable.
+        let mut bare = Service::new(Engine::new(crate::EngineConfig::default()));
+        let v = parse(&bare.handle_line(r#"{"op":"metrics"}"#));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn trace_flag_returns_a_span_tree_and_implies_planning() {
+        let mut s = service_with_graph();
+        let v =
+            parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"trace":true}"#));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let answer = v.get("answer").expect("answer present");
+        // `trace: true` alone routes through the planner.
+        assert!(answer.get("routes").is_some());
+        let spans = match answer.get("trace").and_then(|t| t.get("spans")) {
+            Some(Value::Seq(spans)) => spans,
+            other => panic!("trace spans missing: {other:?}"),
+        };
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| match s.get("name") {
+                Some(Value::Str(n)) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        for expected in ["query", "plan.k-terminal", "cache.lookup", "combine"] {
+            assert!(
+                names.contains(&expected),
+                "missing `{expected}` in {names:?}"
+            );
+        }
+        // Untraced queries stay trace-free on the wire.
+        let v =
+            parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"plan":true}"#));
+        let answer = v.get("answer").expect("answer present");
+        assert_eq!(answer.get("trace"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn stats_reports_reset_safe_per_graph_occupancy() {
+        let mut s = service_with_graph();
+        s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"samples":50}"#);
+        let v = parse(&s.handle_line(r#"{"op":"stats"}"#));
+        let per_graph = match v.get("per_graph") {
+            Some(Value::Seq(g)) => g,
+            other => panic!("per_graph missing: {other:?}"),
+        };
+        assert_eq!(per_graph.len(), 1);
+        let g = &per_graph[0];
+        assert_eq!(g.get("name"), Some(&Value::Str("g".into())));
+        assert_eq!(g.get("active"), Some(&Value::Bool(true)));
+        assert_eq!(g.get("vertices"), Some(&Value::U64(4)));
+        assert!(matches!(g.get("cache_misses"), Some(Value::U64(n)) if *n >= 1));
+        let entries = match g.get("cache_entries") {
+            Some(Value::U64(n)) => *n,
+            other => panic!("cache_entries missing: {other:?}"),
+        };
+        assert!(entries >= 1);
+        // Occupancy is recomputed from the live cache map: clearing the
+        // cache drops it to zero while the monotone counters survive.
+        s.engine.clear_cache();
+        let v = parse(&s.handle_line(r#"{"op":"stats"}"#));
+        let g = match v.get("per_graph") {
+            Some(Value::Seq(g)) => &g[0],
+            other => panic!("per_graph missing: {other:?}"),
+        };
+        assert_eq!(g.get("cache_entries"), Some(&Value::U64(0)));
+        assert!(matches!(g.get("cache_misses"), Some(Value::U64(n)) if *n >= 1));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod widefloat;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use kahan::NeumaierSum;
 pub use stats::{
-    accuracy, normal_ci, AccuracyReport, ConfidenceInterval, ConfidenceLevel, OnlineStats,
+    accuracy, histogram_quantile, normal_ci, AccuracyReport, ConfidenceInterval, ConfidenceLevel,
+    OnlineStats,
 };
 pub use widefloat::WideFloat;

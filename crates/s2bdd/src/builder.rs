@@ -253,6 +253,7 @@ impl S2Bdd {
             layers_total,
             early_exit,
             node_cap_hit,
+            nodes_created: created_nodes_total,
             trajectory,
         })
     }

@@ -42,6 +42,11 @@ pub struct S2BddResult {
     /// layer was surfaced to the fallback stratum sampler (or, with a zero
     /// sample budget, its mass was left between the bounds).
     pub node_cap_hit: bool,
+    /// Total S2BDD nodes created during construction (the actual cost the
+    /// planner's `predicted_nodes` estimate is judged against); `0` for
+    /// results that never built a diagram (trivial instances, flat
+    /// sampling, d-hop enumeration).
+    pub nodes_created: usize,
     /// Optional per-layer `(p_c, p_d)` trajectory.
     pub trajectory: Option<Vec<(f64, f64)>>,
 }
@@ -66,6 +71,7 @@ impl S2BddResult {
             layers_total: 0,
             early_exit: false,
             node_cap_hit: false,
+            nodes_created: 0,
             trajectory: None,
         }
     }
