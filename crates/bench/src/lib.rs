@@ -13,6 +13,7 @@
 #![deny(missing_docs)]
 
 pub mod accuracy;
+pub mod throughput;
 
 use netrel_ugraph::UncertainGraph;
 use rand::rngs::StdRng;
@@ -33,6 +34,8 @@ pub struct RunArgs {
     pub full: bool,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Suite selector for multi-suite runners (`netrel-testrunner`).
+    pub suite: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -43,6 +46,7 @@ impl Default for RunArgs {
             seed: 7,
             full: false,
             json: None,
+            suite: None,
         }
     }
 }
@@ -59,6 +63,8 @@ pub fn parse_args() -> RunArgs {
             a.seed = v.parse().expect("--seed takes an integer");
         } else if let Some(v) = arg.strip_prefix("--json=") {
             a.json = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("--suite=") {
+            a.suite = Some(v.to_string());
         } else if arg == "--full" {
             a.full = true;
             a.scale = 1.0;

@@ -8,6 +8,8 @@
 //!
 //! * [`sampling`] — the classical Monte Carlo / Horvitz–Thompson possible-
 //!   world samplers (the paper's `Sampling(MC)` / `Sampling(HT)` baselines),
+//!   plus the [`bitsample`] kernel packing 64 Monte Carlo worlds per `u64`
+//!   for word-parallel connectivity,
 //! * [`pro`] — the paper's approach (`Pro`): preprocessing via 2-edge-
 //!   connected components, then one width-bounded S2BDD per decomposed
 //!   component, with bound-driven sample reduction (Algorithm 1),
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bitsample;
 pub mod dhop;
 pub mod exact;
 pub mod oracle;
@@ -41,6 +44,10 @@ pub mod pro;
 pub mod sampling;
 pub mod semantics;
 
+pub use bitsample::{
+    bitsample_dhop_reliability, bitsample_part, bitsample_reliability, lane_utilization_percent,
+    BitSamplingConfig, CsrAdjacency, WorldBank, LANES,
+};
 pub use dhop::{dhop_exact_reliability, sample_dhop_reliability, DHOP_EXACT_EDGE_LIMIT};
 pub use exact::{exact_reliability, exact_semantics_value};
 pub use oracle::{oracle_value, ORACLE_EDGE_LIMIT};

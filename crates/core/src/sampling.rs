@@ -201,7 +201,7 @@ where
 /// in stream order. Because `per_stream(i)` is a pure function of `i` (its
 /// RNG is derived from the stream index), the output is independent of the
 /// worker count.
-fn run_streams<T, F>(streams: usize, threads: usize, per_stream: F) -> Vec<T>
+pub(crate) fn run_streams<T, F>(streams: usize, threads: usize, per_stream: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -1,0 +1,315 @@
+//! Contract suite for the bit-parallel sampler (DESIGN.md §12).
+//!
+//! A packed kernel cannot be draw-for-draw identical to the flat sampler,
+//! so this suite pins the three properties that make shipping it safe:
+//!
+//! 1. **Statistical equivalence** — on every ≤25-edge fixture, the packed
+//!    and flat Monte Carlo estimates both land within 4σ of the exhaustive
+//!    possible-world oracle's truth (and within a combined band of each
+//!    other), for plain connectivity and under a hop bound.
+//! 2. **Lane-level exactness** — each lane of a packed reachability pass
+//!    visits exactly the set a scalar BFS visits over that lane's world;
+//!    bit-parallelism is an encoding, not an approximation.
+//! 3. **Determinism** — the estimate is a pure function of
+//!    `(samples, seed)`: byte-identical across thread counts and across
+//!    independently constructed runs.
+
+use netrel_core::bitsample::{packed_reach_from, packed_world_masks};
+use netrel_core::{
+    bitsample_dhop_reliability, bitsample_reliability, dhop_exact_reliability, oracle_value,
+    sample_dhop_reliability, sample_reliability, BitSamplingConfig, CsrAdjacency, SamplingConfig,
+    SemanticsSpec, LANES,
+};
+use netrel_s2bdd::EstimatorKind;
+use netrel_ugraph::UncertainGraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fixtures spanning bridges, cycles, chords, and a dense core — all within
+/// the oracle's 25-edge cap, with a terminal set per graph.
+fn fixtures() -> Vec<(&'static str, UncertainGraph, Vec<usize>)> {
+    let path = UncertainGraph::new(5, (0..4).map(|i| (i, i + 1, 0.85))).unwrap();
+    let chorded_square = UncertainGraph::new(
+        4,
+        [
+            (0, 1, 0.5),
+            (1, 2, 0.5),
+            (2, 3, 0.5),
+            (3, 0, 0.5),
+            (0, 2, 0.3),
+        ],
+    )
+    .unwrap();
+    let two_triangles = UncertainGraph::new(
+        6,
+        [
+            (0, 1, 0.7),
+            (1, 2, 0.8),
+            (0, 2, 0.9),
+            (2, 3, 0.6),
+            (3, 4, 0.7),
+            (4, 5, 0.8),
+            (3, 5, 0.9),
+        ],
+    )
+    .unwrap();
+    // K6 on flaky edges: 15 edges, frontier as wide as the oracle allows
+    // comfortably — the shape the planner actually routes to sampling.
+    let mut k6 = Vec::new();
+    for a in 0..6usize {
+        for b in (a + 1)..6 {
+            k6.push((a, b, 0.35 + 0.03 * ((a * 6 + b) % 7) as f64));
+        }
+    }
+    let clique6 = UncertainGraph::new(6, k6).unwrap();
+    vec![
+        ("path", path, vec![0, 4]),
+        ("chorded-square", chorded_square, vec![0, 2]),
+        ("two-triangles", two_triangles, vec![0, 5]),
+        ("clique6", clique6, vec![0, 3]),
+        ("clique6-3term", clique6_clone(), vec![0, 2, 5]),
+    ]
+}
+
+fn clique6_clone() -> UncertainGraph {
+    let mut k6 = Vec::new();
+    for a in 0..6usize {
+        for b in (a + 1)..6 {
+            k6.push((a, b, 0.35 + 0.03 * ((a * 6 + b) % 7) as f64));
+        }
+    }
+    UncertainGraph::new(6, k6).unwrap()
+}
+
+const SAMPLES: usize = 100_000;
+
+/// Binomial standard error at the oracle's truth.
+fn sigma(truth: f64, samples: usize) -> f64 {
+    (truth * (1.0 - truth) / samples as f64).sqrt()
+}
+
+#[test]
+fn packed_and_flat_estimates_sit_within_4_sigma_of_the_oracle() {
+    for (name, g, terminals) in fixtures() {
+        let truth = oracle_value(&g, SemanticsSpec::KTerminal, &terminals).unwrap();
+        let band = 4.0 * sigma(truth, SAMPLES) + 1e-12;
+        let packed = bitsample_reliability(
+            &g,
+            &terminals,
+            BitSamplingConfig {
+                samples: SAMPLES,
+                seed: 0xC0FFEE,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let flat = sample_reliability(
+            &g,
+            &terminals,
+            SamplingConfig {
+                samples: SAMPLES,
+                estimator: EstimatorKind::MonteCarlo,
+                seed: 0xC0FFEE,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert!(
+            (packed.estimate - truth).abs() <= band,
+            "{name}: packed {} vs oracle {truth} (band {band})",
+            packed.estimate
+        );
+        assert!(
+            (flat.estimate - truth).abs() <= band,
+            "{name}: flat {} vs oracle {truth} (band {band})",
+            flat.estimate
+        );
+        // Equivalence of the estimators, not just of each to the truth:
+        // two unbiased estimates differ by at most the combined band.
+        assert!(
+            (packed.estimate - flat.estimate).abs() <= 2.0 * band,
+            "{name}: packed {} vs flat {}",
+            packed.estimate,
+            flat.estimate
+        );
+        // Identical variance formula: R̂(1−R̂)/s on both sides.
+        let expect_var = packed.estimate * (1.0 - packed.estimate) / SAMPLES as f64;
+        assert!((packed.variance_estimate - expect_var).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn hop_bounded_lanes_sit_within_4_sigma_of_the_exact_dhop_value() {
+    let (_, g, _) = &fixtures()[1]; // chorded square
+    for d in [1, 2, 3] {
+        let truth = dhop_exact_reliability(g, 0, 2, d).unwrap();
+        let band = 4.0 * sigma(truth, SAMPLES) + 1e-12;
+        let packed = bitsample_dhop_reliability(
+            g,
+            0,
+            2,
+            d,
+            BitSamplingConfig {
+                samples: SAMPLES,
+                seed: 0xD0_0D,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let flat = sample_dhop_reliability(
+            g,
+            0,
+            2,
+            d,
+            SamplingConfig {
+                samples: SAMPLES,
+                estimator: EstimatorKind::MonteCarlo,
+                seed: 0xD0_0D,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert!(
+            (packed.estimate - truth).abs() <= band,
+            "d={d}: packed {} vs exact {truth}",
+            packed.estimate
+        );
+        assert!(
+            (flat.estimate - truth).abs() <= band,
+            "d={d}: flat {} vs exact {truth}",
+            flat.estimate
+        );
+    }
+}
+
+/// Scalar BFS over one world's present-edge mask — deliberately independent
+/// of the packed kernel (plain queue, per-vertex adjacency).
+fn scalar_reach(g: &UncertainGraph, present: &[bool], source: usize) -> Vec<bool> {
+    let mut seen = vec![false; g.num_vertices()];
+    let mut queue = vec![source];
+    seen[source] = true;
+    while let Some(v) = queue.pop() {
+        for &(w, e) in g.neighbors(v) {
+            if present[e] && !seen[w] {
+                seen[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    seen
+}
+
+#[test]
+fn every_lane_of_a_packed_pass_matches_scalar_bfs_exactly() {
+    for (name, g, _) in fixtures() {
+        let csr = CsrAdjacency::build(&g);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let masks = packed_world_masks(&g, &mut rng);
+        let reached = packed_reach_from(&csr, &masks, 0);
+        for lane in 0..LANES {
+            // Lane `lane`'s world, decoded back into a scalar edge mask.
+            let present: Vec<bool> = masks.iter().map(|m| (m >> lane) & 1 == 1).collect();
+            let scalar = scalar_reach(&g, &present, 0);
+            for v in 0..g.num_vertices() {
+                let packed_bit = (reached[v] >> lane) & 1 == 1;
+                assert_eq!(
+                    packed_bit, scalar[v],
+                    "{name}: lane {lane}, vertex {v}: packed {packed_bit} vs scalar BFS"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_runs_are_byte_deterministic_across_threads_and_instances() {
+    let (_, g, terminals) = &fixtures()[3]; // clique6
+    let reference = bitsample_reliability(
+        g,
+        terminals,
+        BitSamplingConfig {
+            samples: 12_345, // deliberately not a multiple of 64
+            seed: 99,
+            threads: 1,
+        },
+    )
+    .unwrap();
+    for threads in [1, 8] {
+        // A fresh call builds its own CSR and RNGs — an "instance" at the
+        // core layer; the engine-level suite covers whole-engine identity.
+        let again = bitsample_reliability(
+            g,
+            terminals,
+            BitSamplingConfig {
+                samples: 12_345,
+                seed: 99,
+                threads,
+            },
+        )
+        .unwrap();
+        assert_eq!(reference.hits, again.hits, "threads={threads}");
+        assert_eq!(
+            reference.estimate.to_bits(),
+            again.estimate.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(
+            reference.variance_estimate.to_bits(),
+            again.variance_estimate.to_bits(),
+            "threads={threads}"
+        );
+    }
+}
+
+/// Random ≤12-edge graphs on 8 vertices, edge probabilities clamped away
+/// from the degenerate endpoints; terminals are the two corner vertices
+/// (possibly disconnected — truth 0 is a case worth covering).
+fn arb_graph() -> impl Strategy<Value = (UncertainGraph, Vec<usize>)> {
+    proptest::collection::vec((0usize..8, 0usize..8, 0.05f64..0.95), 1..13).prop_filter_map(
+        "needs at least one valid edge",
+        |raw| {
+            let mut seen = std::collections::BTreeSet::new();
+            let mut edges = Vec::new();
+            for (a, b, p) in raw {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi && seen.insert((lo, hi)) {
+                    edges.push((lo, hi, p));
+                }
+            }
+            if edges.is_empty() {
+                return None;
+            }
+            let g = UncertainGraph::new(8, edges).ok()?;
+            Some((g, vec![0, 7]))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_graphs_agree_with_the_oracle(case in arb_graph()) {
+        let (g, terminals) = case;
+        let truth = oracle_value(&g, SemanticsSpec::KTerminal, &terminals).unwrap();
+        let samples = 40_000;
+        let packed = bitsample_reliability(
+            &g,
+            &terminals,
+            BitSamplingConfig { samples, seed: 0xABAD1DEA, threads: 1 },
+        )
+        .unwrap();
+        // 5σ over 64 cases keeps the whole-suite false-failure odds ~1e-5;
+        // the epsilon absorbs truth = 0 (disconnected pairs), where the
+        // packed estimate must be exactly zero too.
+        let band = 5.0 * sigma(truth, samples) + 1e-9;
+        prop_assert!(
+            (packed.estimate - truth).abs() <= band,
+            "packed {} vs oracle {} (band {})",
+            packed.estimate,
+            truth,
+            band
+        );
+    }
+}

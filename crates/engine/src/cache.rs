@@ -405,6 +405,62 @@ mod tests {
     }
 
     #[test]
+    fn bit_sampling_never_aliases_other_solver_families() {
+        // The packed sampler draws a different world sequence than the flat
+        // sampler at the same (samples, seed), so a BitSampling entry must
+        // never serve — or be served by — any other family on the same part.
+        let (g, t) = part(1);
+        let cfg = S2BddConfig::default();
+        let bit_key = PlanKey::for_solver(
+            &g,
+            &t,
+            PartSolver::BitSampling {
+                samples: cfg.samples,
+                seed: cfg.seed,
+            },
+        );
+        let flat_key = PlanKey::for_solver(
+            &g,
+            &t,
+            PartSolver::Sampling {
+                samples: cfg.samples,
+                estimator: cfg.estimator,
+                seed: cfg.seed,
+            },
+        );
+        let enum_key = PlanKey::for_solver(&g, &t, PartSolver::Enumeration);
+        let s2bdd_key = PlanKey::new(&g, &t, cfg);
+        assert_ne!(bit_key, flat_key);
+        assert_ne!(bit_key, enum_key);
+        assert_ne!(bit_key, s2bdd_key);
+        let mut c = PlanCache::new(8);
+        c.insert(bit_key.clone(), result(0.5), 0);
+        assert!(c.get(&flat_key).is_none(), "flat sampling aliased packed");
+        assert!(c.get(&enum_key).is_none(), "enumeration aliased packed");
+        assert!(c.get(&s2bdd_key).is_none(), "s2bdd aliased packed");
+        assert!(c.get(&bit_key).is_some());
+        // Different packed sample budgets and seeds are distinct entries.
+        let other = PlanKey::for_solver(
+            &g,
+            &t,
+            PartSolver::BitSampling {
+                samples: cfg.samples + 64,
+                seed: cfg.seed,
+            },
+        );
+        let reseeded = PlanKey::for_solver(
+            &g,
+            &t,
+            PartSolver::BitSampling {
+                samples: cfg.samples,
+                seed: cfg.seed ^ 1,
+            },
+        );
+        assert_ne!(bit_key, other);
+        assert_ne!(bit_key, reseeded);
+    }
+
+    #[test]
     fn semantics_computation_never_aliases_connectivity() {
         // The same subgraph + terminals + solver, asked as a d-hop part,
         // must never serve (or be served by) a cached connectivity part.

@@ -60,9 +60,10 @@ pub mod planner;
 pub mod service;
 
 use netrel_core::{
-    combine_semantics_plan, exact_semantics_part, part_s2bdd_config, sample_semantics_part,
-    solve_semantics_part, PartComputation, ProConfig, ProResult, SamplingConfig, SemPart,
-    SemanticsPlan, SemanticsSpec, DHOP_EXACT_EDGE_LIMIT,
+    combine_semantics_plan, exact_semantics_part, lane_utilization_percent, part_s2bdd_config,
+    sample_semantics_part, solve_semantics_part, BitSamplingConfig, PartComputation, ProConfig,
+    ProResult, SamplingConfig, SemPart, SemanticsPlan, SemanticsSpec, WorldBank,
+    DHOP_EXACT_EDGE_LIMIT,
 };
 use netrel_numeric::{normal_ci, ConfidenceInterval};
 use netrel_obs::trace as obs_trace;
@@ -504,6 +505,12 @@ pub struct Engine {
     /// (atomic counters and clock reads only), so answers are bit-identical
     /// either way.
     obs: Recorder,
+    /// Memoized packed world masks for [`PartSolver::BitSampling`] parts:
+    /// queries on the same graph/seed/budget share every drawn world, so
+    /// repeat queries skip straight to the (cheap) propagation pass.
+    /// Purely an accelerator — answers are byte-identical with or without
+    /// a hit (see `netrel_core::WorldBank`).
+    worlds: WorldBank,
 }
 
 /// Where a query's part result comes from during batch assembly.
@@ -581,6 +588,7 @@ impl Engine {
             by_name: HashMap::new(),
             cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
             obs,
+            worlds: WorldBank::new(),
         }
     }
 
@@ -796,6 +804,10 @@ impl Engine {
                     for p in &plans {
                         Self::route_counter(m, p).inc();
                         m.predicted_nodes.observe_count(p.estimate.predicted_nodes);
+                        if let PartSolver::BitSampling { samples, .. } = p.solver {
+                            m.bit_lane_utilization_percent
+                                .observe(lane_utilization_percent(samples));
+                        }
                     }
                 }
                 if let (Some(b), Some((Some(id), _))) = (tb.as_mut(), route_span) {
@@ -837,6 +849,7 @@ impl Engine {
             (Route::Exact, _) => &m.route_exact,
             (Route::Bounded, _) => &m.route_bounded,
             (Route::Sampling, _) => &m.route_sampling,
+            (Route::BitSampling, _) => &m.route_bit_sampling,
         }
     }
 
@@ -972,6 +985,17 @@ impl Engine {
                             seed,
                             // The executor already parallelizes across jobs;
                             // the stream partition keeps this seed-stable.
+                            threads: 1,
+                        },
+                    ),
+                    PartSolver::BitSampling { samples, seed } => self.worlds.part(
+                        part,
+                        BitSamplingConfig {
+                            samples,
+                            seed,
+                            // Same reasoning as flat sampling: jobs are the
+                            // parallelism unit, and the block partition keeps
+                            // draws thread-count invariant anyway.
                             threads: 1,
                         },
                     ),
@@ -1324,18 +1348,45 @@ mod tests {
     }
 
     #[test]
-    fn planner_routes_dense_graph_to_sampling_and_attaches_ci() {
+    fn planner_routes_dense_graph_to_bit_sampling_and_attaches_ci() {
         let g = clique(60);
         let mut engine = Engine::new(EngineConfig::default());
         let id = engine.register("clique", g);
         let q = PlannedQuery::new(vec![0, 59], PlanBudget::default());
         let a = engine.run_planned(id, &q).unwrap();
-        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(a.routes.contains(&Route::BitSampling), "{:?}", a.routes);
         assert!(!a.exact);
         assert!(a.samples_used > 0);
         assert!(a.ci.contains(a.estimate));
         assert!(a.ci.width() > 0.0 || a.variance_estimate == 0.0);
         assert!(a.lower_bound <= a.estimate && a.estimate <= a.upper_bound);
+    }
+
+    #[test]
+    fn world_bank_reuse_never_leaks_into_answers() {
+        // Two bit-sampled queries on one engine share the memoized
+        // reachability matrix (same graph, same derived seed, same source);
+        // a fresh engine that only ever sees the second query must still
+        // produce it byte-identically — reuse is wall-clock only.
+        let g = clique(55);
+        let mut warm = Engine::new(EngineConfig::default());
+        let wid = warm.register("clique", g.clone());
+        let first = PlannedQuery::new(vec![0, 54], PlanBudget::default());
+        let second = PlannedQuery::new(vec![0, 30], PlanBudget::default());
+        let a1 = warm.run_planned(wid, &first).unwrap();
+        let a2 = warm.run_planned(wid, &second).unwrap();
+        assert!(a1.routes.contains(&Route::BitSampling), "{:?}", a1.routes);
+
+        let mut cold = Engine::new(EngineConfig::default());
+        let cid = cold.register("clique", g);
+        let b2 = cold.run_planned(cid, &second).unwrap();
+        assert_eq!(a2.estimate.to_bits(), b2.estimate.to_bits());
+        assert_eq!(
+            a2.variance_estimate.to_bits(),
+            b2.variance_estimate.to_bits()
+        );
+        assert_eq!(a2.samples_used, b2.samples_used);
+        assert_eq!(a2.routes, b2.routes);
     }
 
     #[test]
@@ -1524,7 +1575,7 @@ mod tests {
     }
 
     #[test]
-    fn planned_wide_dhop_routes_to_sampling_with_ci() {
+    fn planned_wide_dhop_routes_to_bit_sampling_with_ci() {
         let g = k7();
         let mut engine = Engine::new(EngineConfig::default());
         let id = engine.register("k7", g);
@@ -1536,7 +1587,7 @@ mod tests {
             PlanBudget::default(),
         );
         let a = engine.run_planned(id, &q).unwrap();
-        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(a.routes.contains(&Route::BitSampling), "{:?}", a.routes);
         assert!(!a.exact);
         assert!(a.samples_used > 0);
         assert!(a.ci.contains(a.estimate));

@@ -13,9 +13,14 @@
 //!   proven bounds plus an unbiased estimate.
 //! * [`Route::Bounded`] — the paper's width-bounded S2BDD with a width
 //!   derived from the node budget and a computed sample budget.
+//! * [`Route::BitSampling`] — bit-parallel Monte Carlo sampling
+//!   ([`bitsample_part`](netrel_core::bitsample_part)) for parts whose
+//!   frontier is so wide that a bounded diagram would prove nothing: 64
+//!   possible worlds packed per `u64`, one word-wide BFS per block.
 //! * [`Route::Sampling`] — flat possible-world sampling
-//!   ([`sample_part_result`](netrel_core::sample_part_result)) for parts
-//!   whose frontier is so wide that a bounded diagram would prove nothing.
+//!   ([`sample_part_result`](netrel_core::sample_part_result)), kept for
+//!   Horvitz–Thompson-estimated parts (HT needs per-world occurrence
+//!   probabilities the packed kernel does not track).
 //!
 //! The **cost model** is a cheap pre-pass over each part: it builds the
 //! same [`FrontierPlan`] the solver would use (the chosen edge ordering's
@@ -166,6 +171,11 @@ pub enum Route {
     Bounded,
     /// Flat possible-world sampling over the whole part.
     Sampling,
+    /// Bit-parallel Monte Carlo sampling: 64 packed worlds per word
+    /// ([`netrel_core::bitsample`]). The default sampling route for
+    /// Monte-Carlo-estimated parts; Horvitz–Thompson parts stay on
+    /// [`Route::Sampling`].
+    BitSampling,
 }
 
 impl Route {
@@ -175,6 +185,7 @@ impl Route {
             Route::Exact => "exact",
             Route::Bounded => "bounded",
             Route::Sampling => "sampling",
+            Route::BitSampling => "bit_sampling",
         }
     }
 }
@@ -206,6 +217,20 @@ pub enum PartSolver {
         /// Estimator aggregating them.
         estimator: EstimatorKind,
         /// Stream seed.
+        seed: u64,
+    },
+    /// One bit-parallel Monte Carlo run
+    /// ([`bitsample_part`](netrel_core::bitsample_part)): 64 worlds packed
+    /// per `u64`, word-wide frontier propagation, MC estimator only (no
+    /// estimator field — Horvitz–Thompson routes to [`PartSolver::Sampling`]
+    /// instead). Thread count is pinned by the seed-stable block partition,
+    /// so it is not part of the identity; a packed run never aliases a flat
+    /// [`PartSolver::Sampling`] run because the two kernels consume the RNG
+    /// differently and are only statistically — not bitwise — equivalent.
+    BitSampling {
+        /// Possible worlds to draw (lanes across all 64-wide blocks).
+        samples: usize,
+        /// Block-partition seed.
         seed: u64,
     },
     /// Exact enumeration for parts whose indicator the S2BDD cannot
@@ -337,6 +362,34 @@ pub fn plan_part(
     }
 }
 
+/// The sampling fallback for a part no exact or bounded route can serve:
+/// the bit-parallel packed sampler when the configured estimator is Monte
+/// Carlo (the default — one BFS pass answers 64 worlds), flat sampling when
+/// it is Horvitz–Thompson (HT needs per-world occurrence probabilities the
+/// packed kernel does not track). Both carry the per-part seed, so routing
+/// is still a pure function of `(part, config, budget)`.
+fn sampling_fallback(part_cfg: S2BddConfig, samples: usize, estimate: CostEstimate) -> PartPlan {
+    match part_cfg.estimator {
+        EstimatorKind::MonteCarlo => PartPlan {
+            route: Route::BitSampling,
+            solver: PartSolver::BitSampling {
+                samples,
+                seed: part_cfg.seed,
+            },
+            estimate,
+        },
+        EstimatorKind::HorvitzThompson => PartPlan {
+            route: Route::Sampling,
+            solver: PartSolver::Sampling {
+                samples,
+                estimator: part_cfg.estimator,
+                seed: part_cfg.seed,
+            },
+            estimate,
+        },
+    }
+}
+
 /// Cost model for a d-hop part: recursive edge conditioning visits at most
 /// `2^|E|` leaves (the BFS bounds prune most in practice, but the planner
 /// budgets for the worst case), so the predicted "node" count is
@@ -358,9 +411,9 @@ pub fn estimate_dhop_part(graph: &UncertainGraph) -> CostEstimate {
 
 /// Route one d-hop part: exact recursive conditioning
 /// ([`PartSolver::Enumeration`]) if the worst-case `2^|E|` leaf count fits
-/// the node budget, else hop-bounded flat sampling. There is no bounded
-/// middle route — the width-bounded S2BDD cannot express the hop-count
-/// indicator.
+/// the node budget, else hop-bounded sampling (bit-parallel for MC, flat
+/// for HT — see [`sampling_fallback`]). There is no bounded middle route —
+/// the width-bounded S2BDD cannot express the hop-count indicator.
 fn plan_dhop_part(
     part: &SemPart,
     base: S2BddConfig,
@@ -376,15 +429,7 @@ fn plan_dhop_part(
             estimate,
         }
     } else {
-        PartPlan {
-            route: Route::Sampling,
-            solver: PartSolver::Sampling {
-                samples: budget.effective_sample_budget(),
-                estimator: part_cfg.estimator,
-                seed: part_cfg.seed,
-            },
-            estimate,
-        }
+        sampling_fallback(part_cfg, budget.effective_sample_budget(), estimate)
     }
 }
 
@@ -438,16 +483,9 @@ fn plan_connectivity_part(
             estimate,
         }
     } else {
-        // Frontier too wide for any useful diagram: flat sampling.
-        PartPlan {
-            route: Route::Sampling,
-            solver: PartSolver::Sampling {
-                samples: sample_budget,
-                estimator: part_cfg.estimator,
-                seed: part_cfg.seed,
-            },
-            estimate,
-        }
+        // Frontier too wide for any useful diagram: sampling (bit-parallel
+        // for MC, flat for HT).
+        sampling_fallback(part_cfg, sample_budget, estimate)
     }
 }
 
@@ -509,17 +547,46 @@ mod tests {
     }
 
     #[test]
-    fn wide_clique_routes_to_sampling() {
+    fn wide_clique_routes_to_bit_sampling() {
         let g = clique(60); // frontier width 60 > BOUNDED_WIDTH_LIMIT
         let est = estimate_part(&g, &[0, 59], EdgeOrder::Bfs);
         assert!(est.frontier_width > BOUNDED_WIDTH_LIMIT);
         assert_eq!(est.predicted_nodes, usize::MAX);
+        // Default estimator is Monte Carlo → the packed kernel.
         let plan = plan_part(
             &conn(&g, &[0, 59]),
             S2BddConfig::default(),
             0,
             &PlanBudget::default(),
         );
+        assert_eq!(plan.route, Route::BitSampling);
+        match plan.solver {
+            PartSolver::BitSampling { samples, .. } => {
+                assert_eq!(samples, PlanBudget::default().sample_budget);
+            }
+            other => panic!("expected bit-sampling solver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn horvitz_thompson_parts_keep_the_flat_sampling_route() {
+        // HT needs per-world occurrence probabilities the packed kernel
+        // does not track, so the estimator knob steers the fallback.
+        let g = clique(60);
+        let base = S2BddConfig {
+            estimator: EstimatorKind::HorvitzThompson,
+            ..S2BddConfig::default()
+        };
+        let plan = plan_part(&conn(&g, &[0, 59]), base, 0, &PlanBudget::default());
+        assert_eq!(plan.route, Route::Sampling);
+        match plan.solver {
+            PartSolver::Sampling { estimator, .. } => {
+                assert_eq!(estimator, EstimatorKind::HorvitzThompson);
+            }
+            other => panic!("expected flat sampling solver, got {other:?}"),
+        }
+        // Same for oversized d-hop parts.
+        let plan = plan_part(&dhop(&g, &[0, 59], 2), base, 0, &PlanBudget::default());
         assert_eq!(plan.route, Route::Sampling);
     }
 
@@ -539,18 +606,18 @@ mod tests {
     }
 
     #[test]
-    fn wide_dhop_part_routes_to_sampling_with_part_seed() {
+    fn wide_dhop_part_routes_to_bit_sampling_with_part_seed() {
         let g = clique(30); // 435 edges → 2^435 saturates
         let base = S2BddConfig::default();
         let plan = plan_part(&dhop(&g, &[0, 29], 2), base, 4, &PlanBudget::default());
-        assert_eq!(plan.route, Route::Sampling);
+        assert_eq!(plan.route, Route::BitSampling);
         assert_eq!(plan.estimate.predicted_nodes, usize::MAX);
         match plan.solver {
-            PartSolver::Sampling { samples, seed, .. } => {
+            PartSolver::BitSampling { samples, seed } => {
                 assert_eq!(samples, PlanBudget::default().sample_budget);
                 assert_eq!(seed, part_s2bdd_config(base, 4).seed);
             }
-            other => panic!("expected sampling solver, got {other:?}"),
+            other => panic!("expected bit-sampling solver, got {other:?}"),
         }
     }
 
@@ -559,7 +626,7 @@ mod tests {
         let g = path(10); // 9 edges → 512 leaves
         let tight = PlanBudget::with_nodes(511);
         let plan = plan_part(&dhop(&g, &[0, 9], 9), S2BddConfig::default(), 0, &tight);
-        assert_eq!(plan.route, Route::Sampling);
+        assert_eq!(plan.route, Route::BitSampling);
         let roomy = PlanBudget::with_nodes(512);
         let plan = plan_part(&dhop(&g, &[0, 9], 9), S2BddConfig::default(), 0, &roomy);
         assert_eq!(plan.solver, PartSolver::Enumeration);
@@ -653,5 +720,9 @@ mod tests {
         use serde::Serialize;
         assert_eq!(Route::Exact.to_value(), serde::Value::Str("exact".into()));
         assert_eq!(Route::Sampling.name(), "sampling");
+        assert_eq!(
+            Route::BitSampling.to_value(),
+            serde::Value::Str("bit_sampling".into())
+        );
     }
 }

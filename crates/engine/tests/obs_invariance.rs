@@ -116,6 +116,57 @@ fn planned_answers_are_bit_identical_under_instrumentation_and_tracing() {
 }
 
 #[test]
+fn bit_sampling_path_is_bit_identical_under_instrumentation_and_tracing() {
+    // A 45-clique routes to the bit-parallel sampler (frontier width > 40)
+    // for both plain and hop-bounded semantics; the maximally-instrumented
+    // engine must return byte-identical answers while actually recording
+    // the packed route and its lane-utilization histogram.
+    let g = netrel_datasets::clique(45);
+    let mut plain = Engine::new(EngineConfig::default());
+    let pid = plain.register("clique45", g.clone());
+    let mut inst = Engine::with_recorder(EngineConfig::default(), Recorder::enabled());
+    let iid = inst.register("clique45", g);
+
+    for (spec, terminals) in [
+        (SemanticsSpec::KTerminal, vec![0, 44]),
+        (SemanticsSpec::DHop { d: 2 }, vec![0, 44]),
+    ] {
+        let q =
+            PlannedQuery::with_semantics(spec, terminals, sampling_cfg(11), PlanBudget::default());
+        let x = plain.run_planned(pid, &q).unwrap();
+        let y = inst.run_planned(iid, &q.clone().with_trace()).unwrap();
+        assert!(
+            x.routes.contains(&netrel_engine::Route::BitSampling),
+            "{spec:?} must route to the packed sampler: {:?}",
+            x.routes
+        );
+        assert_eq!(x.estimate.to_bits(), y.estimate.to_bits(), "{spec:?}");
+        assert_eq!(x.ci.lower.to_bits(), y.ci.lower.to_bits());
+        assert_eq!(x.ci.upper.to_bits(), y.ci.upper.to_bits());
+        assert_eq!(x.variance_estimate.to_bits(), y.variance_estimate.to_bits());
+        assert_eq!(x.samples_used, y.samples_used);
+        assert_eq!(x.routes, y.routes);
+        let trace = y.trace.expect("traced query carries a span tree");
+        let route_span = trace.find("route").expect("route span");
+        let routes_attr = route_span
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "routes")
+            .expect("routes attribute");
+        assert!(
+            routes_attr.1.contains("bit_sampling"),
+            "trace must name the packed route: {routes_attr:?}"
+        );
+    }
+    let m = inst.metrics_snapshot().unwrap();
+    assert!(m.routes.bit_sampling >= 2, "{:?}", m.routes);
+    assert!(
+        m.bit_lane_utilization_percent.count >= 2,
+        "lane-utilization histogram must observe packed parts"
+    );
+}
+
+#[test]
 fn trace_spans_are_well_formed_and_round_trip_through_serde() {
     use serde::Serialize as _;
 

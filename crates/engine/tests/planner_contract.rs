@@ -132,8 +132,8 @@ fn dense_batch_unfinishable_exactly_completes_through_the_planner() {
         crashed.upper_bound
     );
 
-    // The planner routes the same batch to sampling and completes with
-    // CI-carrying answers.
+    // The planner routes the same batch to the bit-parallel sampler and
+    // completes with CI-carrying answers.
     let queries: Vec<PlannedQuery> = [vec![0, 54], vec![1, 30], vec![7, 20, 40]]
         .into_iter()
         .map(|t| PlannedQuery::new(t, budget))
@@ -141,7 +141,7 @@ fn dense_batch_unfinishable_exactly_completes_through_the_planner() {
     let answers = engine.run_planned_batch(id, &queries).unwrap();
     for a in answers {
         let a = a.unwrap();
-        assert!(a.routes.contains(&Route::Sampling), "{:?}", a.routes);
+        assert!(a.routes.contains(&Route::BitSampling), "{:?}", a.routes);
         assert!(!a.exact);
         assert!(a.samples_used > 0);
         assert!(a.ci.contains(a.estimate));
@@ -211,5 +211,5 @@ fn mixed_batch_routes_per_part() {
         .run_planned(did, &PlannedQuery::new(vec![0, 49], PlanBudget::default()))
         .unwrap();
     assert!(!b.exact);
-    assert!(b.routes.contains(&Route::Sampling));
+    assert!(b.routes.contains(&Route::BitSampling));
 }

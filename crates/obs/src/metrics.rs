@@ -58,6 +58,11 @@ pub const TIME_EDGES_SECONDS: [f64; 12] = [
 /// parts per query): powers of ten from 1 to 1e9, `+Inf` beyond.
 pub const COUNT_EDGES: [f64; 10] = [1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9];
 
+/// Bucket upper bounds for percentage histograms (lane utilization): a
+/// decile ladder up to 100. Everything a well-formed percentage can be
+/// lands in an explicit bucket; `+Inf` only catches bad inputs.
+pub const PERCENT_EDGES: [f64; 10] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0];
+
 /// A fixed-bucket histogram with atomic bucket counts and a lock-free sum.
 ///
 /// Bucket edges are `'static` upper bounds; an observation lands in the
@@ -89,6 +94,11 @@ impl Histogram {
     /// A size/count histogram over [`COUNT_EDGES`].
     pub fn count() -> Self {
         Self::with_edges(&COUNT_EDGES)
+    }
+
+    /// A percentage histogram over [`PERCENT_EDGES`].
+    pub fn percent() -> Self {
+        Self::with_edges(&PERCENT_EDGES)
     }
 
     /// Record one observation.
@@ -209,8 +219,14 @@ pub struct Metrics {
     pub route_bounded: Counter,
     /// Parts routed to flat possible-world sampling.
     pub route_sampling: Counter,
+    /// Parts routed to the bit-parallel (64 worlds per `u64`) sampler.
+    pub route_bit_sampling: Counter,
     /// Parts routed to exact d-hop enumeration.
     pub route_enumeration: Counter,
+    /// Lane utilization (percent of the final 64-lane block used) per
+    /// bit-sampling-routed part. 100 means `samples` was a multiple of 64;
+    /// low values flag budgets wasting most of their last packed word.
+    pub bit_lane_utilization_percent: Histogram,
     /// Solves whose in-solver node cap tripped (cost-model underestimate).
     pub node_cap_hits: Counter,
     /// Cost-model predicted S2BDD node counts, one observation per planned
@@ -270,7 +286,9 @@ impl Metrics {
             route_exact: Counter::new(),
             route_bounded: Counter::new(),
             route_sampling: Counter::new(),
+            route_bit_sampling: Counter::new(),
             route_enumeration: Counter::new(),
+            bit_lane_utilization_percent: Histogram::percent(),
             node_cap_hits: Counter::new(),
             predicted_nodes: Histogram::count(),
             actual_nodes: Histogram::count(),
@@ -308,8 +326,10 @@ impl Metrics {
                 exact: self.route_exact.get(),
                 bounded: self.route_bounded.get(),
                 sampling: self.route_sampling.get(),
+                bit_sampling: self.route_bit_sampling.get(),
                 enumeration: self.route_enumeration.get(),
             },
+            bit_lane_utilization_percent: self.bit_lane_utilization_percent.snapshot(),
             node_cap_hits: self.node_cap_hits.get(),
             predicted_nodes: self.predicted_nodes.snapshot(),
             actual_nodes: self.actual_nodes.snapshot(),
@@ -348,6 +368,8 @@ pub struct RouteCountsSnapshot {
     pub bounded: u64,
     /// Flat-sampling route.
     pub sampling: u64,
+    /// Bit-parallel sampling route.
+    pub bit_sampling: u64,
     /// Exact d-hop enumeration route.
     pub enumeration: u64,
 }
@@ -375,6 +397,8 @@ pub struct MetricsSnapshot {
     pub index_build_seconds: HistogramSnapshot,
     /// Planner route decisions.
     pub routes: RouteCountsSnapshot,
+    /// Final-block lane utilization per bit-sampling-routed part.
+    pub bit_lane_utilization_percent: HistogramSnapshot,
     /// Node-cap safety-net trips.
     pub node_cap_hits: u64,
     /// Cost-model node predictions.
@@ -446,8 +470,14 @@ impl MetricsSnapshot {
                 ("route", "exact", self.routes.exact),
                 ("route", "bounded", self.routes.bounded),
                 ("route", "sampling", self.routes.sampling),
+                ("route", "bit_sampling", self.routes.bit_sampling),
                 ("route", "enumeration", self.routes.enumeration),
             ],
+        );
+        push_histogram(
+            &mut out,
+            "netrel_bit_lane_utilization_percent",
+            &self.bit_lane_utilization_percent,
         );
         push_counter(
             &mut out,
@@ -654,6 +684,8 @@ mod tests {
         let m = Metrics::new();
         m.queries_classic.inc();
         m.route_sampling.add(3);
+        m.route_bit_sampling.add(4);
+        m.bit_lane_utilization_percent.observe(62.5);
         m.cache_hits.add(2);
         m.part_solve_seconds.observe(0.002);
         let text = m.snapshot().to_prometheus();
@@ -661,6 +693,9 @@ mod tests {
             "# TYPE netrel_queries_total counter",
             "netrel_queries_total{path=\"classic\"} 1",
             "netrel_planner_route_total{route=\"sampling\"} 3",
+            "netrel_planner_route_total{route=\"bit_sampling\"} 4",
+            "# TYPE netrel_bit_lane_utilization_percent histogram",
+            "netrel_bit_lane_utilization_percent_bucket{le=\"70\"} 1",
             "netrel_cache_hits_total 2",
             "# TYPE netrel_part_solve_seconds histogram",
             "netrel_part_solve_seconds_bucket{le=\"+Inf\"} 1",

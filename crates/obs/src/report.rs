@@ -1,6 +1,6 @@
 //! The unified benchmark report schema and its tolerance-band differ.
 //!
-//! Both throughput bins (`engine_throughput`, `planner_throughput`) emit a
+//! The `netrel-testrunner` throughput suites emit a
 //! [`BenchReport`] — one schema, versioned by [`SCHEMA`], carrying workload
 //! parameters, per-workload timing, planner route counts, and cache
 //! counters — so the committed `BENCH_*.json` baselines are mutually
@@ -21,6 +21,8 @@ pub struct RouteCounts {
     pub bounded: u64,
     /// Parts routed to flat possible-world sampling.
     pub sampling: u64,
+    /// Parts routed to the bit-parallel (64 worlds per `u64`) sampler.
+    pub bit_sampling: u64,
     /// Parts routed to exact d-hop enumeration.
     pub enumeration: u64,
 }
@@ -28,7 +30,7 @@ pub struct RouteCounts {
 impl RouteCounts {
     /// Sum over all routes.
     pub fn total(&self) -> u64 {
-        self.exact + self.bounded + self.sampling + self.enumeration
+        self.exact + self.bounded + self.sampling + self.bit_sampling + self.enumeration
     }
 }
 
@@ -76,7 +78,8 @@ pub struct BenchRow {
 pub struct BenchReport {
     /// Always [`SCHEMA`]; the differ refuses mismatched schemas.
     pub schema: String,
-    /// Emitting bin (`"engine_throughput"`, `"planner_throughput"`).
+    /// Emitting runner (e.g. `"netrel-testrunner/planner"`); informational,
+    /// never diffed.
     pub bench: String,
     /// `rustc --version` of the emitting build (informational; never
     /// diffed).
@@ -225,6 +228,13 @@ pub fn diff_reports(baseline: &BenchReport, fresh: &BenchReport, tol: f64) -> Ve
         check_exact(
             &mut out,
             n,
+            "routes.bit_sampling",
+            base_row.routes.bit_sampling,
+            fresh_row.routes.bit_sampling,
+        );
+        check_exact(
+            &mut out,
+            n,
             "routes.enumeration",
             base_row.routes.enumeration,
             fresh_row.routes.enumeration,
@@ -278,6 +288,19 @@ pub fn diff_reports(baseline: &BenchReport, fresh: &BenchReport, tol: f64) -> Ve
                 }),
             }
         }
+        // Keys only the fresh run carries are just as much a schema drift
+        // as keys only the baseline carries.
+        for (key, fresh_val) in &fresh_row.extra {
+            if !base_row.extra.iter().any(|(k, _)| k == key) {
+                out.push(DiffViolation {
+                    row: n.clone(),
+                    field: format!("extra.{key}"),
+                    baseline: 0.0,
+                    fresh: *fresh_val,
+                    ratio: f64::INFINITY,
+                });
+            }
+        }
     }
     for fresh_row in &fresh.rows {
         if !baseline.rows.iter().any(|r| r.name == fresh_row.name) {
@@ -322,6 +345,7 @@ mod tests {
                 exact: 40,
                 bounded: 4,
                 sampling: 20,
+                bit_sampling: 0,
                 enumeration: 0,
             },
             cache: CacheCounts {
@@ -381,6 +405,36 @@ mod tests {
         let fields: Vec<&str> = v.iter().map(|d| d.field.as_str()).collect();
         assert!(fields.contains(&"missing_row"));
         assert!(fields.contains(&"unexpected_row"));
+    }
+
+    #[test]
+    fn every_regression_is_reported_not_just_the_first() {
+        // Two rows, each with its own out-of-tolerance field: the differ
+        // must surface both, so a multi-row regression is visible at once.
+        let mut base = report(0.5);
+        base.rows.push(row("clique", 0.25));
+        let mut fresh = base.clone();
+        fresh.rows[0].qps = base.rows[0].qps * 10.0; // grid: qps regression
+        fresh.rows[1].routes.bit_sampling = 7; // clique: route drift
+        let v = diff_reports(&base, &fresh, 0.25);
+        assert_eq!(v.len(), 2, "expected both violations, got {v:?}");
+        let fields: Vec<(&str, &str)> = v
+            .iter()
+            .map(|d| (d.row.as_str(), d.field.as_str()))
+            .collect();
+        assert!(fields.contains(&("grid", "qps")));
+        assert!(fields.contains(&("clique", "routes.bit_sampling")));
+    }
+
+    #[test]
+    fn fresh_only_extra_keys_are_violations() {
+        let base = report(0.5);
+        let mut fresh = base.clone();
+        fresh.rows[0].extra.push(("surprise_qps".to_string(), 1.0));
+        let v = diff_reports(&base, &fresh, 10.0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "extra.surprise_qps");
+        assert!(v[0].ratio.is_infinite());
     }
 
     #[test]
