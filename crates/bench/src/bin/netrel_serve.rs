@@ -17,16 +17,32 @@
 use netrel_engine::service::Service;
 use netrel_engine::{Engine, EngineConfig, Recorder};
 use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
 
-fn main() {
+/// Parse a numeric flag value, or exit with a usage error. A typo on the
+/// command line is an operator mistake, not a panic.
+fn parse_flag(value: &str, what: &str) -> Result<usize, ExitCode> {
+    value.parse().map_err(|_| {
+        eprintln!("netrel-serve: {what} takes an integer, got {value:?} (try --help)");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
     let mut workers = 0usize; // 0 = EngineConfig::default() auto-detection
     let mut cache = usize::MAX;
     let mut metrics = true;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--workers=") {
-            workers = v.parse().expect("--workers takes an integer");
+            workers = match parse_flag(v, "--workers") {
+                Ok(n) => n,
+                Err(code) => return code,
+            };
         } else if let Some(v) = arg.strip_prefix("--cache=") {
-            cache = v.parse().expect("--cache takes an integer (entries)");
+            cache = match parse_flag(v, "--cache") {
+                Ok(n) => n,
+                Err(code) => return code,
+            };
         } else if arg == "--no-metrics" {
             metrics = false;
         } else if arg == "--help" || arg == "-h" {
@@ -34,7 +50,7 @@ fn main() {
             eprintln!("NDJSON protocol: register/query/batch/stats/metrics, planner budgets,");
             eprintln!("CI fields, and `trace` — documented in docs/protocol.md (netcat/curl");
             eprintln!("examples included) and the `netrel_engine::service` rustdoc.");
-            return;
+            return ExitCode::SUCCESS;
         } else {
             eprintln!("warning: unknown argument {arg:?} ignored");
         }
@@ -57,13 +73,25 @@ fn main() {
     let stdout = io::stdout();
     let mut out = stdout.lock();
     for line in stdin.lock().lines() {
-        let line = line.expect("failed to read stdin");
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("netrel-serve: stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         let response = service.handle_line(trimmed);
-        writeln!(out, "{response}").expect("failed to write stdout");
-        out.flush().expect("failed to flush stdout");
+        // A closed pipe (client went away) is a normal shutdown, not a crash.
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            return ExitCode::SUCCESS;
+        }
     }
+    ExitCode::SUCCESS
 }

@@ -298,6 +298,7 @@ fn block_rng(seed: u64, b: usize) -> StdRng {
 
 fn resolve_threads(threads: usize, blocks: usize) -> usize {
     match threads {
+        // netrel-lint: allow(thread-count, reason = "worker count only picks how the seed-stable blocks are partitioned; every block's draws are identical for any thread count")
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

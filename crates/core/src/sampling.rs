@@ -139,6 +139,7 @@ where
     let stream_rng =
         |i: usize| StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let threads = match cfg.threads {
+        // netrel-lint: allow(thread-count, reason = "worker count only picks how the seed-stable streams are partitioned; every stream's draws are identical for any thread count")
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),

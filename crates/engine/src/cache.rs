@@ -186,12 +186,13 @@ impl PlanCache {
         self.tick += 1;
         let mut evicted_age = None;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some((lru, age)) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, e)| (k.clone(), self.tick - e.last_used))
-            {
+            // Unkeyed iteration is sound here: `last_used` ticks are unique
+            // (stamped from a monotone counter), so the min is the same in
+            // any iteration order — and eviction can only change wall-clock,
+            // never a result (see the module header).
+            // netrel-lint: allow(hash-iteration, reason = "min over unique monotone ticks is order-independent; eviction never changes an answer")
+            let lru = self.map.iter().min_by_key(|(_, e)| e.last_used);
+            if let Some((lru, age)) = lru.map(|(k, e)| (k.clone(), self.tick - e.last_used)) {
                 self.map.remove(&lru);
                 self.evictions += 1;
                 evicted_age = Some(age);
@@ -224,6 +225,7 @@ impl PlanCache {
     /// monotone hit/miss counters).
     pub fn entries_by_owner(&self, num_owners: usize) -> Vec<usize> {
         let mut counts = vec![0usize; num_owners];
+        // netrel-lint: allow(hash-iteration, reason = "commutative count fold — the tally is identical in any iteration order")
         for entry in self.map.values() {
             if let Some(c) = counts.get_mut(entry.owner) {
                 *c += 1;

@@ -111,7 +111,9 @@ impl Service {
                 m.request_errors.inc();
             }
         }
-        serde_json::to_string(&response).expect("response rendering cannot fail")
+        serde_json::to_string(&response).unwrap_or_else(|_| {
+            r#"{"ok":false,"error":"internal: response rendering failed"}"#.to_string()
+        })
     }
 
     fn dispatch(&mut self, request: &Value) -> Result<Value, String> {
@@ -426,20 +428,23 @@ fn apply_knobs(v: &Value, s2bdd: &mut S2BddConfig) -> Result<(), String> {
 
 fn edge_triple(item: &Value) -> Result<(usize, usize, f64), String> {
     let bad = || "`edges` entries must be [u, v, p] triples".to_string();
-    match item {
-        Value::Seq(t) if t.len() == 3 => {
+    let Value::Seq(t) = item else {
+        return Err(bad());
+    };
+    match &t[..] {
+        [u, v, p] => {
             let vertex = |x: &Value| match x {
                 Value::U64(n) => Ok(*n as usize),
                 Value::I64(n) if *n >= 0 => Ok(*n as usize),
                 _ => Err(bad()),
             };
-            let p = match &t[2] {
+            let p = match p {
                 Value::F64(p) => *p,
                 Value::U64(n) => *n as f64,
                 Value::I64(n) => *n as f64,
                 _ => return Err(bad()),
             };
-            Ok((vertex(&t[0])?, vertex(&t[1])?, p))
+            Ok((vertex(u)?, vertex(v)?, p))
         }
         _ => Err(bad()),
     }

@@ -1,0 +1,279 @@
+//! `lint.toml` — profiles and the cache-key rule's structural declarations.
+//!
+//! A *profile* maps a set of workspace path prefixes to the per-file rules
+//! enforced there. A file picks up the union of every profile whose prefix
+//! matches, so `crates/engine/src/planner.rs` gets the baseline rules from
+//! the `default` profile *plus* the determinism rules from
+//! `answer-affecting`. The cache-key rule is declared separately because it
+//! is cross-file: it names type definitions and the regions that must
+//! mention them (see [`crate::structural`]).
+
+use crate::rules::RuleId;
+use crate::toml::{self, Table, Value};
+
+/// One profile: path prefixes → rule set.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Profile name (the `[profiles.<name>]` key).
+    pub name: String,
+    /// Workspace-relative path prefixes (`/`-separated).
+    pub paths: Vec<String>,
+    /// Rules enforced on matching files.
+    pub rules: Vec<RuleId>,
+}
+
+/// `[[rules.cache-key.embed]]` — `container`'s definition in `file` must
+/// textually embed the type `member`. Chained declarations prove that a
+/// config type is carried into the cache key wholesale, so every field it
+/// ever grows is automatically part of the key's derived `Eq`/`Hash`.
+#[derive(Clone, Debug)]
+pub struct EmbedLink {
+    /// File holding `container`'s definition.
+    pub file: String,
+    /// The struct or enum whose definition is inspected.
+    pub container: String,
+    /// The type name that must appear inside that definition.
+    pub member: String,
+}
+
+/// `[[rules.cache-key.consult]]` — every field of struct `type` (defined in
+/// `defined_in`) must be consulted (appear as an identifier) in at least one
+/// of `consulted_in`, outside the struct's own definition, its `Default`
+/// impl, and test code. Catches a budget knob that is added, defaulted, and
+/// then silently ignored by the planner.
+#[derive(Clone, Debug)]
+pub struct ConsultCheck {
+    /// The struct whose fields are extracted.
+    pub type_name: String,
+    /// File holding the struct definition.
+    pub defined_in: String,
+    /// Files that collectively must consult every field.
+    pub consulted_in: Vec<String>,
+}
+
+/// `[[rules.cache-key.variants]]` — every variant of enum `type` (defined
+/// in `defined_in`) must be matched as `Type::Variant` in `matched_in`
+/// outside the enum's own definition and test code. Catches a semantics
+/// variant that is declared but never routed to a part computation.
+#[derive(Clone, Debug)]
+pub struct VariantCheck {
+    /// The enum whose variants are extracted.
+    pub type_name: String,
+    /// File holding the enum definition.
+    pub defined_in: String,
+    /// File that must handle every variant.
+    pub matched_in: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// All profiles, in name order.
+    pub profiles: Vec<Profile>,
+    /// Cache-key embed chain.
+    pub embeds: Vec<EmbedLink>,
+    /// Cache-key field-consultation checks.
+    pub consults: Vec<ConsultCheck>,
+    /// Cache-key variant-coverage checks.
+    pub variants: Vec<VariantCheck>,
+}
+
+impl Config {
+    /// Parse a `lint.toml` document.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let root = toml::parse(src)?;
+        match root.get("schema").and_then(Value::as_str) {
+            Some("netrel-lint/v1") => {}
+            other => return Err(format!("unsupported lint.toml schema {other:?}")),
+        }
+        let mut cfg = Config::default();
+        if let Some(Value::Table(profiles)) = root.get("profiles") {
+            for (name, body) in profiles {
+                let Value::Table(body) = body else {
+                    return Err(format!("profile `{name}` must be a table"));
+                };
+                cfg.profiles.push(parse_profile(name, body)?);
+            }
+        }
+        if let Some(Value::Table(rules)) = root.get("rules") {
+            if let Some(Value::Table(ck)) = rules.get("cache-key") {
+                parse_cache_key(ck, &mut cfg)?;
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The union of rules from every profile matching `path`
+    /// (workspace-relative, `/`-separated), sorted and deduplicated.
+    pub fn rules_for(&self, path: &str) -> Vec<RuleId> {
+        let mut rules: Vec<RuleId> = self
+            .profiles
+            .iter()
+            .filter(|p| {
+                p.paths.iter().any(|prefix| {
+                    path == prefix
+                        || path.starts_with(&format!("{}/", prefix.trim_end_matches('/')))
+                })
+            })
+            .flat_map(|p| p.rules.iter().copied())
+            .collect();
+        rules.sort_unstable();
+        rules.dedup();
+        rules
+    }
+
+    /// Whether `path` falls under any profile at all (files outside every
+    /// profile are not scanned).
+    pub fn covers(&self, path: &str) -> bool {
+        self.profiles.iter().any(|p| {
+            p.paths.iter().any(|prefix| {
+                path == prefix || path.starts_with(&format!("{}/", prefix.trim_end_matches('/')))
+            })
+        })
+    }
+}
+
+fn parse_profile(name: &str, body: &Table) -> Result<Profile, String> {
+    let paths = body
+        .get("paths")
+        .and_then(Value::as_str_array)
+        .ok_or_else(|| format!("profile `{name}` needs a `paths` string array"))?
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let rule_names = body
+        .get("rules")
+        .and_then(Value::as_str_array)
+        .ok_or_else(|| format!("profile `{name}` needs a `rules` string array"))?;
+    let mut rules = Vec::new();
+    for rn in rule_names {
+        let rule = RuleId::from_name(rn)
+            .ok_or_else(|| format!("profile `{name}`: unknown rule `{rn}`"))?;
+        rules.push(rule);
+    }
+    Ok(Profile {
+        name: name.to_string(),
+        paths,
+        rules,
+    })
+}
+
+fn parse_cache_key(ck: &Table, cfg: &mut Config) -> Result<(), String> {
+    let str_of = |t: &Table, key: &str, ctx: &str| -> Result<String, String> {
+        t.get(key)
+            .and_then(Value::as_str)
+            .map(String::from)
+            .ok_or_else(|| format!("cache-key {ctx}: missing string `{key}`"))
+    };
+    if let Some(Value::TableArray(items)) = ck.get("embed") {
+        for t in items {
+            cfg.embeds.push(EmbedLink {
+                file: str_of(t, "file", "embed")?,
+                container: str_of(t, "container", "embed")?,
+                member: str_of(t, "member", "embed")?,
+            });
+        }
+    }
+    if let Some(Value::TableArray(items)) = ck.get("consult") {
+        for t in items {
+            cfg.consults.push(ConsultCheck {
+                type_name: str_of(t, "type", "consult")?,
+                defined_in: str_of(t, "defined_in", "consult")?,
+                consulted_in: t
+                    .get("consulted_in")
+                    .and_then(Value::as_str_array)
+                    .ok_or("cache-key consult: missing `consulted_in` string array")?
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            });
+        }
+    }
+    if let Some(Value::TableArray(items)) = ck.get("variants") {
+        for t in items {
+            cfg.variants.push(VariantCheck {
+                type_name: str_of(t, "type", "variants")?,
+                defined_in: str_of(t, "defined_in", "variants")?,
+                matched_in: str_of(t, "matched_in", "variants")?,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+schema = "netrel-lint/v1"
+
+[profiles.default]
+paths = ["crates", "src"]
+rules = ["unsafe-comment"]
+
+[profiles.answer-affecting]
+paths = ["crates/engine/src/planner.rs", "crates/s2bdd/src"]
+rules = ["wall-clock", "hash-iteration", "thread-count"]
+
+[[rules.cache-key.embed]]
+file = "crates/engine/src/cache.rs"
+container = "PlanKey"
+member = "PartSolver"
+
+[[rules.cache-key.consult]]
+type = "PlanBudget"
+defined_in = "crates/engine/src/planner.rs"
+consulted_in = ["crates/engine/src/planner.rs", "crates/engine/src/lib.rs"]
+
+[[rules.cache-key.variants]]
+type = "SemanticsSpec"
+defined_in = "crates/core/src/semantics.rs"
+matched_in = "crates/core/src/semantics.rs"
+"#;
+
+    #[test]
+    fn profiles_union_by_prefix() {
+        let cfg = Config::parse(DOC).unwrap();
+        assert_eq!(
+            cfg.rules_for("crates/engine/src/planner.rs"),
+            [
+                RuleId::WallClock,
+                RuleId::ThreadCount,
+                RuleId::HashIteration,
+                RuleId::UnsafeComment
+            ]
+        );
+        assert_eq!(
+            cfg.rules_for("crates/s2bdd/src/builder.rs"),
+            [
+                RuleId::WallClock,
+                RuleId::ThreadCount,
+                RuleId::HashIteration,
+                RuleId::UnsafeComment
+            ]
+        );
+        assert_eq!(
+            cfg.rules_for("crates/obs/src/lib.rs"),
+            [RuleId::UnsafeComment]
+        );
+        assert!(!cfg.covers("vendor/rand/src/lib.rs"));
+        assert!(cfg.covers("src/lib.rs"));
+    }
+
+    #[test]
+    fn cache_key_sections_parse() {
+        let cfg = Config::parse(DOC).unwrap();
+        assert_eq!(cfg.embeds.len(), 1);
+        assert_eq!(cfg.embeds[0].member, "PartSolver");
+        assert_eq!(cfg.consults[0].consulted_in.len(), 2);
+        assert_eq!(cfg.variants[0].type_name, "SemanticsSpec");
+    }
+
+    #[test]
+    fn unknown_rules_are_rejected() {
+        let bad =
+            "schema = \"netrel-lint/v1\"\n[profiles.p]\npaths = [\"x\"]\nrules = [\"nope\"]\n";
+        assert!(Config::parse(bad).unwrap_err().contains("unknown rule"));
+    }
+}

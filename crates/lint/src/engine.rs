@@ -1,0 +1,198 @@
+//! The workspace pass: walk, tokenize, apply profiles, suppress, report.
+//!
+//! Determinism discipline applies to the lint itself: the directory walk is
+//! sorted, every map is a `BTreeMap`, and findings are canonically ordered,
+//! so two runs over the same tree produce byte-identical reports.
+
+use crate::config::Config;
+use crate::outline::Outline;
+use crate::report::{Finding, Report, UsedSuppression};
+use crate::rules::{check_file, RuleId};
+use crate::structural::{self, Parsed};
+use crate::suppress::{suppressions, Suppression};
+use crate::tokens::File;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".github", "node_modules"];
+
+/// Run the full pass over the workspace rooted at `root` under `config`.
+pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
+    let mut files: BTreeMap<String, Parsed> = BTreeMap::new();
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    for rel in paths {
+        if !config.covers(&rel) && !referenced_by_cache_key(config, &rel) {
+            continue;
+        }
+        let abs = root.join(&rel);
+        let src = std::fs::read_to_string(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        let file = File::parse(rel.clone(), src);
+        let outline = Outline::parse(&file);
+        files.insert(rel, Parsed { file, outline });
+    }
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut supps: Vec<(String, Vec<Suppression>)> = Vec::new();
+    for (path, parsed) in &files {
+        let rules = config.rules_for(path);
+        if !rules.is_empty() {
+            raw.extend(check_file(&parsed.file, &parsed.outline, &rules));
+        }
+        let file_supps = suppressions(&parsed.file);
+        if !file_supps.is_empty() {
+            supps.push((path.clone(), file_supps));
+        }
+    }
+    raw.extend(structural::check(&files, config));
+    apply_suppressions(raw, supps, &mut report);
+    report.sort();
+    Ok(report)
+}
+
+/// Lint one in-memory source snippet under an explicit rule set — the
+/// fixture-test entry point. Suppressions in the snippet are honored;
+/// structural rules do not apply (they are cross-file).
+pub fn run_snippet(path: &str, src: &str, rules: &[RuleId]) -> Report {
+    let file = File::parse(path, src);
+    let outline = Outline::parse(&file);
+    let raw = check_file(&file, &outline, rules);
+    let supps = vec![(path.to_string(), suppressions(&file))];
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+    apply_suppressions(raw, supps, &mut report);
+    report.sort();
+    report
+}
+
+/// Match findings against suppressions: a finding on a suppression's
+/// target line with the same rule is silenced (and the suppression
+/// counted); a reasonless or unused suppression is itself a finding.
+fn apply_suppressions(
+    raw: Vec<Finding>,
+    supps: Vec<(String, Vec<Suppression>)>,
+    report: &mut Report,
+) {
+    let mut used: BTreeMap<(String, u32), UsedSuppression> = BTreeMap::new();
+    'findings: for f in raw {
+        for (path, file_supps) in &supps {
+            if *path != f.file {
+                continue;
+            }
+            for s in file_supps {
+                if s.rule == f.rule && s.target_line == f.line {
+                    used.entry((path.clone(), s.comment_line))
+                        .or_insert_with(|| UsedSuppression {
+                            rule: s.rule.clone(),
+                            file: path.clone(),
+                            line: s.comment_line,
+                            reason: s.reason.clone(),
+                        });
+                    continue 'findings;
+                }
+            }
+        }
+        report.findings.push(f);
+    }
+    for (path, file_supps) in &supps {
+        for s in file_supps {
+            if s.reason.is_empty() {
+                report.findings.push(Finding {
+                    rule: "bad-suppression",
+                    file: path.clone(),
+                    line: s.comment_line,
+                    col: s.col,
+                    message: format!(
+                        "suppression of `{}` has no reason: write \
+                         `netrel-lint: allow({}, reason = \"…\")` — the reason is the \
+                         audit trail",
+                        s.rule, s.rule
+                    ),
+                });
+            }
+            if !used.contains_key(&(path.clone(), s.comment_line)) {
+                report.findings.push(Finding {
+                    rule: "unused-suppression",
+                    file: path.clone(),
+                    line: s.comment_line,
+                    col: s.col,
+                    message: format!(
+                        "suppression of `{}` matches no finding: the violation it \
+                         excused is gone — remove the comment so the allowlist stays \
+                         honest",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+    report.suppressions.extend(used.into_values());
+}
+
+/// Whether the cache-key declarations reference `rel` (such files are
+/// loaded even when no profile covers them, so the structural rule can see
+/// consulting regions anywhere in the tree).
+fn referenced_by_cache_key(config: &Config, rel: &str) -> bool {
+    config.embeds.iter().any(|e| e.file == rel)
+        || config
+            .consults
+            .iter()
+            .any(|c| c.defined_in == rel || c.consulted_in.iter().any(|p| p == rel))
+        || config
+            .variants
+            .iter()
+            .any(|v| v.defined_in == rel || v.matched_in == rel)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative_slash(root, &path) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated (the config's path syntax on
+/// every platform).
+fn relative_slash(root: &Path, path: &Path) -> Option<String> {
+    let rel: PathBuf = path.strip_prefix(root).ok()?.to_path_buf();
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` (inclusive)
+/// holding a `lint.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,52 @@
+//! # netrel-lint — the workspace invariant pass
+//!
+//! Every accuracy and performance claim this repository makes rests on
+//! invariants that `cargo test` can only probe pointwise: sampling is a
+//! pure function of `(samples, seed)`, cache keys never alias across
+//! solvers or semantics, observability never changes an answer bit, and
+//! the service survives any input a client can send. One unkeyed
+//! `HashMap` iteration or stray clock read in an answer-affecting module
+//! breaks reproducibility on inputs no test happens to cover. This crate
+//! checks the *whole class* at the source level, in CI, on every change.
+//!
+//! The pass is dependency-free by design (it audits everything else, so it
+//! must stay trivially auditable): a hand-rolled Rust tokenizer
+//! ([`tokens`]), a structural outline ([`outline`]), a TOML-subset config
+//! reader ([`toml`]/[`config`]), per-file rules ([`rules`]), one
+//! cross-file structural rule ([`structural`]), and dual human/JSON
+//! reporting ([`report`]). Rules, regions, and the suppression syntax are
+//! catalogued in `docs/lints.md`.
+//!
+//! ## Rules
+//!
+//! | rule | forbids | where (see `lint.toml`) |
+//! |------|---------|-------------------------|
+//! | `wall-clock` | `Instant::now` / `SystemTime` | answer-affecting modules |
+//! | `thread-count` | `available_parallelism`, `num_cpus`, `rayon` | answer-affecting modules |
+//! | `hash-iteration` | iterating `HashMap`/`HashSet` (Fx included) | answer-affecting modules |
+//! | `panic-path` | `unwrap`/`expect`/panicking macros/unguarded `[…]` | serve request path |
+//! | `unsafe-comment` | `unsafe` without `// SAFETY:` | whole workspace |
+//! | `cache-key` | key-builder regions missing a watched field/variant | declared in `lint.toml` |
+//!
+//! Findings are suppressed line-by-line with
+//! `// netrel-lint: allow(<rule>, reason = "…")`; suppressions are counted
+//! in the report, a missing reason is a `bad-suppression` finding, and a
+//! suppression that matches nothing is an `unused-suppression` finding.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod outline;
+pub mod report;
+pub mod rules;
+pub mod structural;
+pub mod suppress;
+pub mod tokens;
+pub mod toml;
+
+pub use config::Config;
+pub use engine::{find_root, run, run_snippet};
+pub use report::{Finding, Report};
+pub use rules::RuleId;

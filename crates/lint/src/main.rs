@@ -1,0 +1,109 @@
+//! `netrel-lint` — run the workspace invariant pass from the command line.
+//!
+//! ```text
+//! cargo run -p netrel-lint -- --deny-warnings --json=lint-report.json
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (hygiene findings —
+//! `bad-suppression` / `unused-suppression` — only fail under
+//! `--deny-warnings`), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Finding rules that are hygiene warnings rather than invariant
+/// violations: they fail the run only under `--deny-warnings`.
+const WARNING_RULES: [&str; 2] = ["bad-suppression", "unused-suppression"];
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--root=") {
+            root = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--config=") {
+            config_path = Some(PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--json=") {
+            json_path = Some(PathBuf::from(v));
+        } else if arg == "--deny-warnings" {
+            deny_warnings = true;
+        } else if arg == "--help" || arg == "-h" {
+            println!(
+                "usage: netrel-lint [--root=DIR] [--config=lint.toml] \
+                 [--json=REPORT.json] [--deny-warnings]"
+            );
+            println!("Runs the workspace invariant pass; see docs/lints.md.");
+            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("netrel-lint: unknown argument {arg:?} (try --help)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("netrel-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match netrel_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "netrel-lint: no lint.toml found above {} (pass --root=)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("netrel-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match netrel_lint::Config::parse(&config_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("netrel-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match netrel_lint::run(&root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("netrel-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.to_human());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("netrel-lint: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let hard = report
+        .findings
+        .iter()
+        .any(|f| !WARNING_RULES.contains(&f.rule));
+    let warnings = report
+        .findings
+        .iter()
+        .any(|f| WARNING_RULES.contains(&f.rule));
+    if hard || (deny_warnings && warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,339 @@
+//! A structural outline over the token stream.
+//!
+//! Rules need three structural facts the flat token stream does not give
+//! them: *which item am I inside* (to scope the cache-key rule to one
+//! struct or one impl block), *is this test code* (`#[cfg(test)]` modules
+//! and `#[test]` functions are exempt from the runtime-invariant rules),
+//! and *where does this item's body end* (brace matching). This module
+//! computes exactly that — a single pass that pairs each item keyword with
+//! its name, its attributes, and the token span of its body.
+//!
+//! It is deliberately not a parser: expressions, generics, and where
+//! clauses are skipped by brace counting alone. That is sufficient because
+//! every rule consumes *token* evidence inside a span, never grammar.
+
+use crate::tokens::{File, TokKind};
+
+/// What kind of item an [`Item`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `struct Name { … }` (or unit/tuple struct).
+    Struct,
+    /// `enum Name { … }`.
+    Enum,
+    /// `fn name(…) { … }`.
+    Fn,
+    /// `mod name { … }` (inline only; `mod name;` has no body).
+    Mod,
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl,
+    /// `trait Name { … }`.
+    Trait,
+}
+
+/// One item found in a file.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name. For `impl` blocks this is the *self type* (the token
+    /// after `for` when present, else the first type token after `impl`);
+    /// for a trait impl `impl Default for PlanBudget`, `name` is
+    /// `PlanBudget` and [`Item::trait_name`] is `Default`.
+    pub name: String,
+    /// The implemented trait for `impl Trait for Type`, else empty.
+    pub trait_name: String,
+    /// Token index of the introducing keyword.
+    pub kw: usize,
+    /// Token index of the opening `{` of the body, if the item has one.
+    pub body_open: Option<usize>,
+    /// Token index of the matching `}` (== `body_open` when missing).
+    pub body_close: Option<usize>,
+    /// Whether the item (or an enclosing module) is test-only:
+    /// `#[cfg(test)]` or `#[test]` on it or on an ancestor.
+    pub test_only: bool,
+}
+
+impl Item {
+    /// Whether token index `i` lies inside this item's body.
+    pub fn contains(&self, i: usize) -> bool {
+        match (self.body_open, self.body_close) {
+            (Some(o), Some(c)) => i >= o && i <= c,
+            _ => false,
+        }
+    }
+}
+
+/// All items of one file, in source order (nested items included).
+pub struct Outline {
+    /// Every item found, outermost first within a nesting chain.
+    pub items: Vec<Item>,
+}
+
+impl Outline {
+    /// Build the outline of `file`.
+    pub fn parse(file: &File) -> Outline {
+        let mut items = Vec::new();
+        // Stack of (close-brace token index, test_only) for enclosing items,
+        // so nested items inherit test-ness from `#[cfg(test)] mod tests`.
+        let mut enclosing: Vec<(usize, bool)> = Vec::new();
+        let toks = &file.toks;
+        let mut i = 0usize;
+        // Attributes seen since the last item/statement boundary.
+        let mut pending_attr_test = false;
+        while i < toks.len() {
+            enclosing.retain(|&(close, _)| i <= close);
+            if toks[i].kind == TokKind::Punct && file.text(i) == "#" {
+                // Attribute: `#[…]` or `#![…]`. Scan its bracket group.
+                let mut j = i + 1;
+                if file.is_punct(j, "!") {
+                    j += 1;
+                }
+                if file.is_punct(j, "[") {
+                    let close = match_bracket(file, j, "[", "]");
+                    let attr_text = attr_tokens(file, j, close);
+                    if attr_text.contains("cfg(test") || attr_text == "test" {
+                        pending_attr_test = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            let kind = match toks[i].kind {
+                TokKind::Ident => match file.text(i) {
+                    "struct" => Some(ItemKind::Struct),
+                    "enum" => Some(ItemKind::Enum),
+                    "fn" => Some(ItemKind::Fn),
+                    "mod" => Some(ItemKind::Mod),
+                    "impl" => Some(ItemKind::Impl),
+                    "trait" => Some(ItemKind::Trait),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some(kind) = kind else {
+                // Attributes survive modifiers (`pub`, `unsafe`, `async`,
+                // doc comments) between them and their item; any statement
+                // boundary discards them.
+                if toks[i].kind == TokKind::Punct
+                    && matches!(file.text(i), ";" | "," | "{" | "}" | "(" | ")")
+                {
+                    pending_attr_test = false;
+                }
+                i += 1;
+                continue;
+            };
+            let (name, trait_name) = item_name(file, i, kind);
+            // Find the body `{` — or a `;` first (declarations without one).
+            let mut j = i + 1;
+            let mut depth_paren = 0i32;
+            let (mut body_open, mut body_close) = (None, None);
+            while j < toks.len() {
+                let t = file.text(j);
+                match (toks[j].kind, t) {
+                    (TokKind::Punct, "(") | (TokKind::Punct, "[") => depth_paren += 1,
+                    (TokKind::Punct, ")") | (TokKind::Punct, "]") => depth_paren -= 1,
+                    (TokKind::Punct, "{") if depth_paren == 0 => {
+                        body_open = Some(j);
+                        body_close = Some(match_bracket(file, j, "{", "}"));
+                        break;
+                    }
+                    (TokKind::Punct, ";") if depth_paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let inherited_test = enclosing.iter().any(|&(_, t)| t);
+            let test_only = pending_attr_test || inherited_test;
+            pending_attr_test = false;
+            if let Some(close) = body_close {
+                enclosing.push((close, test_only));
+            }
+            items.push(Item {
+                kind,
+                name,
+                trait_name,
+                kw: i,
+                body_open,
+                body_close,
+                test_only,
+            });
+            // Continue scanning *inside* the body to collect nested items.
+            i = body_open.map_or(j + 1, |o| o + 1);
+        }
+        Outline { items }
+    }
+
+    /// The first item matching `kind` and `name`.
+    pub fn find(&self, kind: ItemKind, name: &str) -> Option<&Item> {
+        self.items
+            .iter()
+            .find(|it| it.kind == kind && it.name == name)
+    }
+
+    /// Whether token index `i` falls inside test-only code.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.items.iter().any(|it| it.test_only && it.contains(i))
+    }
+}
+
+/// Flatten the tokens of an attribute group `[ … ]` into one string
+/// (delimiters excluded) for substring matching like `cfg(test)`.
+fn attr_tokens(file: &File, open: usize, close: usize) -> String {
+    let mut s = String::new();
+    for k in open + 1..close {
+        s.push_str(file.text(k));
+    }
+    s
+}
+
+/// Token index of the bracket matching `open_tok` at index `open`
+/// (self-healing on unbalanced input: returns the last token).
+fn match_bracket(file: &File, open: usize, open_tok: &str, close_tok: &str) -> usize {
+    let mut depth = 0i32;
+    for k in open..file.toks.len() {
+        if file.toks[k].kind == TokKind::Punct {
+            let t = file.text(k);
+            if t == open_tok {
+                depth += 1;
+            } else if t == close_tok {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    file.toks.len().saturating_sub(1)
+}
+
+/// Resolve an item's name (and trait, for trait impls).
+fn item_name(file: &File, kw: usize, kind: ItemKind) -> (String, String) {
+    let next_ident = |from: usize| -> Option<(usize, String)> {
+        (from..file.toks.len())
+            .take_while(|&k| !file.is_punct(k, "{") && !file.is_punct(k, ";"))
+            .find(|&k| file.toks[k].kind == TokKind::Ident)
+            .map(|k| (k, file.text(k).to_string()))
+    };
+    match kind {
+        ItemKind::Impl => {
+            // `impl<T> Trait for Type` / `impl Type`: the self type is the
+            // last path segment before `for`-resolution; we take the ident
+            // after `for` when present, else the first ident after `impl`
+            // (skipping generic params).
+            let mut k = kw + 1;
+            // Skip a generic parameter list `<…>`.
+            if file.is_punct(k, "<") {
+                let mut depth = 0i32;
+                while k < file.toks.len() {
+                    if file.is_punct(k, "<") {
+                        depth += 1;
+                    } else if file.is_punct(k, ">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            let first = next_ident(k);
+            let for_pos = (k..file.toks.len())
+                .take_while(|&j| !file.is_punct(j, "{"))
+                .find(|&j| file.is_ident(j, "for"));
+            match (first, for_pos) {
+                (Some((_, trait_name)), Some(fp)) => {
+                    let name = next_ident(fp + 1).map(|(_, n)| n).unwrap_or_default();
+                    (name, trait_name)
+                }
+                (Some((_, name)), None) => (name, String::new()),
+                _ => (String::new(), String::new()),
+            }
+        }
+        _ => (
+            next_ident(kw + 1).map(|(_, n)| n).unwrap_or_default(),
+            String::new(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outline(src: &str) -> (File, Outline) {
+        let f = File::parse("t.rs", src);
+        let o = Outline::parse(&f);
+        (f, o)
+    }
+
+    #[test]
+    fn finds_structs_enums_fns_and_their_spans() {
+        let (f, o) =
+            outline("struct A { x: u32 }\nenum B { C, D }\nfn e() { let y = 1; }\nstruct Unit;\n");
+        let names: Vec<_> = o.items.iter().map(|i| (i.kind, i.name.as_str())).collect();
+        assert_eq!(
+            names,
+            [
+                (ItemKind::Struct, "A"),
+                (ItemKind::Enum, "B"),
+                (ItemKind::Fn, "e"),
+                (ItemKind::Struct, "Unit"),
+            ]
+        );
+        let a = o.find(ItemKind::Struct, "A").unwrap();
+        assert_eq!(f.text(a.body_close.unwrap()), "}");
+        assert!(o
+            .find(ItemKind::Struct, "Unit")
+            .unwrap()
+            .body_open
+            .is_none());
+    }
+
+    #[test]
+    fn impl_blocks_resolve_self_type_and_trait() {
+        let (_, o) = outline(
+            "impl Default for PlanBudget { fn default() -> Self { todo() } }\n\
+             impl<T: Clone> Wrapper<T> { fn get(&self) {} }\n",
+        );
+        let imp = &o.items[0];
+        assert_eq!(imp.kind, ItemKind::Impl);
+        assert_eq!(imp.name, "PlanBudget");
+        assert_eq!(imp.trait_name, "Default");
+        let imp2 = o
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Impl)
+            .nth(1)
+            .unwrap();
+        assert_eq!(imp2.name, "Wrapper");
+        assert_eq!(imp2.trait_name, "");
+    }
+
+    #[test]
+    fn cfg_test_modules_mark_nested_code_as_test_only() {
+        let (f, o) = outline(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(!o.items[0].test_only, "live fn is not test code");
+        let m = o.find(ItemKind::Mod, "tests").unwrap();
+        assert!(m.test_only);
+        let t = o.find(ItemKind::Fn, "t").unwrap();
+        assert!(t.test_only);
+        // The unwrap token inside the test fn is in test code.
+        let unwrap_idx = (0..f.toks.len())
+            .find(|&i| f.is_ident(i, "unwrap"))
+            .unwrap();
+        assert!(o.in_test_code(unwrap_idx));
+    }
+
+    #[test]
+    fn fn_body_brace_is_not_confused_by_braces_in_params_or_where() {
+        let (_, o) = outline("fn g(a: [u8; 3], b: fn() -> u32) -> u32 { a[0] as u32 + b() }\n");
+        let g = o.find(ItemKind::Fn, "g").unwrap();
+        assert!(g.body_open.is_some());
+    }
+}

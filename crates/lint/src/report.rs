@@ -1,0 +1,211 @@
+//! Findings, suppressions, and the dual human / JSON report.
+//!
+//! The JSON shape is a stable schema (`netrel-lint-report/v1`) so CI can
+//! archive reports and tooling can diff them across commits; the human
+//! rendering is the familiar `file:line:col: rule: message` format every
+//! editor can jump from. Serialization is hand-rolled (string escaping and
+//! all) because this crate is dependency-free by design.
+
+use std::fmt::Write as _;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`wall-clock`, `panic-path`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of what was matched and why it is forbidden.
+    pub message: String,
+}
+
+/// One counted (used) suppression.
+#[derive(Clone, Debug)]
+pub struct UsedSuppression {
+    /// Rule the suppression silenced.
+    pub rule: String,
+    /// File the suppression lives in.
+    pub file: String,
+    /// Line of the suppression comment.
+    pub line: u32,
+    /// The recorded justification.
+    pub reason: String,
+}
+
+/// The complete result of one workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived suppression, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Suppressions that actually silenced a finding.
+    pub suppressions: Vec<UsedSuppression>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the pass is clean (no findings; suppressions are fine).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        self.suppressions
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// The `file:line:col: rule: message` rendering plus a summary line.
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.col, f.rule, f.message
+            );
+        }
+        for s in &self.suppressions {
+            let _ = writeln!(
+                out,
+                "{}:{}: note: allowed({}) — {}",
+                s.file,
+                s.line,
+                s.rule,
+                if s.reason.is_empty() {
+                    "(no reason)"
+                } else {
+                    &s.reason
+                }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "netrel-lint: {} finding{} across {} file{}, {} suppression{} in use",
+            self.findings.len(),
+            plural(self.findings.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.suppressions.len(),
+            plural(self.suppressions.len()),
+        );
+        out
+    }
+
+    /// The `netrel-lint-report/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"netrel-lint-report/v1\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            );
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"suppressions\": [");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&s.rule),
+                json_str(&s.file),
+                s.line,
+                json_str(&s.reason)
+            );
+        }
+        out.push_str(if self.suppressions.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_sorts() {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: "panic-path",
+                    file: "b.rs".into(),
+                    line: 2,
+                    col: 5,
+                    message: "said \"no\"".into(),
+                },
+                Finding {
+                    rule: "wall-clock",
+                    file: "a.rs".into(),
+                    line: 9,
+                    col: 1,
+                    message: "clock".into(),
+                },
+            ],
+            suppressions: vec![],
+            files_scanned: 2,
+        };
+        r.sort();
+        assert_eq!(r.findings[0].file, "a.rs");
+        let json = r.to_json();
+        assert!(json.contains("\"netrel-lint-report/v1\""));
+        assert!(json.contains("\\\"no\\\""));
+        let human = r.to_human();
+        assert!(human.contains("b.rs:2:5: [panic-path]"));
+        assert!(human.contains("2 findings across 2 files"));
+    }
+}

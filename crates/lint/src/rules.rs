@@ -1,0 +1,415 @@
+//! The per-file rules.
+//!
+//! Every rule here consumes one tokenized file plus its outline and emits
+//! [`Finding`]s. Which rules run on which file is decided by the profiles
+//! in `lint.toml` (see [`crate::config`]); the rules themselves are
+//! region-agnostic. All of them skip test-only code (`#[cfg(test)]`
+//! modules, `#[test]` functions) except `unsafe-comment`, which applies
+//! everywhere — an undocumented `unsafe` block is a liability in tests too.
+//!
+//! These are token-level heuristics, not type-checked analyses: they are
+//! deliberately tuned so that a miss is possible but a false positive is
+//! rare, and every deliberate exception is spelled out with a
+//! `// netrel-lint: allow(rule, reason = "…")` that the report counts.
+
+use crate::outline::Outline;
+use crate::report::Finding;
+use crate::tokens::{File, TokKind};
+
+/// Identifier of one per-file rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No `Instant::now` / `SystemTime` reads: answers must be a pure
+    /// function of `(input, seed)`, never of the clock.
+    WallClock,
+    /// No thread-count probes (`available_parallelism`, `num_cpus`,
+    /// `rayon`): parallelism may only enter via seed-stable partitions.
+    ThreadCount,
+    /// No iteration over `HashMap`/`HashSet` (Fx variants included):
+    /// iteration order is allocation-dependent, so any fold over it can
+    /// change answers run to run. Lookups and membership tests are fine.
+    HashIteration,
+    /// No `unwrap`/`expect`/panicking macros/unguarded indexing in the
+    /// service request path: malformed client input must come back as a
+    /// protocol error, never a crash.
+    PanicPath,
+    /// Every `unsafe` token carries a `// SAFETY:` comment immediately
+    /// above it.
+    UnsafeComment,
+}
+
+impl RuleId {
+    /// The stable string name used in reports, suppressions, and config.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::WallClock => "wall-clock",
+            RuleId::ThreadCount => "thread-count",
+            RuleId::HashIteration => "hash-iteration",
+            RuleId::PanicPath => "panic-path",
+            RuleId::UnsafeComment => "unsafe-comment",
+        }
+    }
+
+    /// Parse a rule name from config.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        Some(match name {
+            "wall-clock" => RuleId::WallClock,
+            "thread-count" => RuleId::ThreadCount,
+            "hash-iteration" => RuleId::HashIteration,
+            "panic-path" => RuleId::PanicPath,
+            "unsafe-comment" => RuleId::UnsafeComment,
+            _ => return None,
+        })
+    }
+}
+
+/// Run `rules` over one file.
+pub fn check_file(file: &File, outline: &Outline, rules: &[RuleId]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for &rule in rules {
+        match rule {
+            RuleId::WallClock => wall_clock(file, outline, &mut out),
+            RuleId::ThreadCount => thread_count(file, outline, &mut out),
+            RuleId::HashIteration => hash_iteration(file, outline, &mut out),
+            RuleId::PanicPath => panic_path(file, outline, &mut out),
+            RuleId::UnsafeComment => unsafe_comment(file, &mut out),
+        }
+    }
+    out
+}
+
+fn finding(file: &File, i: usize, rule: RuleId, message: String) -> Finding {
+    Finding {
+        rule: rule.name(),
+        file: file.path.clone(),
+        line: file.toks[i].line,
+        col: file.toks[i].col,
+        message,
+    }
+}
+
+/// Live (non-test) identifier tokens, by index.
+fn live_idents<'a>(file: &'a File, outline: &'a Outline) -> impl Iterator<Item = usize> + 'a {
+    (0..file.toks.len())
+        .filter(|&i| file.toks[i].kind == TokKind::Ident && !outline.in_test_code(i))
+}
+
+fn wall_clock(file: &File, outline: &Outline, out: &mut Vec<Finding>) {
+    for i in live_idents(file, outline) {
+        match file.text(i) {
+            "SystemTime" => out.push(finding(
+                file,
+                i,
+                RuleId::WallClock,
+                "`SystemTime` in an answer-affecting region: answers must not depend on \
+                 wall-clock time"
+                    .into(),
+            )),
+            "Instant"
+                if file.is_punct(i + 1, ":")
+                    && file.is_punct(i + 2, ":")
+                    && file.is_ident(i + 3, "now") =>
+            {
+                out.push(finding(
+                    file,
+                    i,
+                    RuleId::WallClock,
+                    "`Instant::now()` in an answer-affecting region: timing reads \
+                     belong in gated observability code, not on the answer path"
+                        .into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn thread_count(file: &File, outline: &Outline, out: &mut Vec<Finding>) {
+    for i in live_idents(file, outline) {
+        let text = file.text(i);
+        if matches!(text, "available_parallelism" | "num_cpus" | "rayon") {
+            out.push(finding(
+                file,
+                i,
+                RuleId::ThreadCount,
+                format!(
+                    "`{text}` in an answer-affecting region: worker count must never \
+                     influence an answer — use a seed-stable partition and suppress \
+                     with a reason if this site is one"
+                ),
+            ));
+        }
+    }
+}
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+fn hash_iteration(file: &File, outline: &Outline, out: &mut Vec<Finding>) {
+    let bound = hash_bound_names(file);
+    for i in live_idents(file, outline) {
+        let name = file.text(i);
+        // `name.iter()` and friends, where `name` was bound to a hash type.
+        if bound.iter().any(|b| b == name)
+            && file.is_punct(i + 1, ".")
+            && file
+                .toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident)
+            && ITER_METHODS.contains(&file.text(i + 2))
+            && file.is_punct(i + 3, "(")
+        {
+            out.push(finding(
+                file,
+                i,
+                RuleId::HashIteration,
+                format!(
+                    "`{name}.{}()` iterates a hash container bound in this file: \
+                     iteration order is allocation-dependent and can change answers — \
+                     collect into a sorted Vec or key off a deterministic order",
+                    file.text(i + 2)
+                ),
+            ));
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut name`.
+        if name == "in" {
+            let mut j = i + 1;
+            while file.is_punct(j, "&") || file.is_ident(j, "mut") {
+                j += 1;
+            }
+            if file.toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                && bound.iter().any(|b| b == file.text(j))
+                && file.is_punct(j + 1, "{")
+            {
+                out.push(finding(
+                    file,
+                    j,
+                    RuleId::HashIteration,
+                    format!(
+                        "`for … in {}` iterates a hash container bound in this file: \
+                         iteration order is allocation-dependent and can change answers",
+                        file.text(j)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Names bound to hash-container types anywhere in the file: typed
+/// bindings, struct fields, and parameters (`name: …HashMap…`), plus
+/// untyped lets whose initializer mentions a hash type
+/// (`let m = FxHashMap::default()`).
+fn hash_bound_names(file: &File) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // Typed position: `name :` (not `::`) followed by a type whose
+        // top-level tokens include a hash type.
+        if file.is_punct(i + 1, ":") && !file.is_punct(i + 2, ":") {
+            if type_tokens_mention_hash(file, i + 2) {
+                names.push(file.text(i).to_string());
+            }
+            continue;
+        }
+        // `let [mut] name = <expr…>;` with a hash constructor on the right.
+        if file.text(i) == "let" {
+            let mut j = i + 1;
+            if file.is_ident(j, "mut") {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.kind) != Some(TokKind::Ident) {
+                continue;
+            }
+            let name = file.text(j).to_string();
+            if !file.is_punct(j + 1, "=") {
+                continue;
+            }
+            let mut k = j + 2;
+            let mut depth = 0i32;
+            let mut steps = 0;
+            while k < toks.len() && steps < 200 {
+                let t = file.text(k);
+                if toks[k].kind == TokKind::Punct {
+                    match t {
+                        "{" | "(" | "[" => depth += 1,
+                        "}" | ")" | "]" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                if toks[k].kind == TokKind::Ident && HASH_TYPES.contains(&t) {
+                    names.push(name.clone());
+                    break;
+                }
+                k += 1;
+                steps += 1;
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Whether the type starting at token `start` mentions a hash container
+/// before the enclosing field/binding ends (`,`, `;`, `=`, `)`, `{`, `}` at
+/// angle-depth 0).
+fn type_tokens_mention_hash(file: &File, start: usize) -> bool {
+    let toks = &file.toks;
+    let mut angle = 0i32;
+    let mut k = start;
+    let mut steps = 0;
+    while k < toks.len() && steps < 80 {
+        let t = file.text(k);
+        match toks[k].kind {
+            TokKind::Ident if HASH_TYPES.contains(&t) => return true,
+            TokKind::Punct => match t {
+                "<" => angle += 1,
+                // `->` return arrows: the `>` does not close an angle pair.
+                ">" if k > 0 && file.is_punct(k - 1, "-") && toks[k - 1].end == toks[k].start => {}
+                ">" => angle -= 1,
+                "," | ";" | "=" | ")" | "{" | "}" if angle <= 0 => return false,
+                _ => {}
+            },
+            _ => {}
+        }
+        k += 1;
+        steps += 1;
+    }
+    false
+}
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (slice patterns, array types, `in [..]`, …).
+const NON_INDEX_PRECEDERS: [&str; 18] = [
+    "in", "return", "if", "else", "match", "let", "mut", "ref", "move", "as", "break", "loop",
+    "while", "for", "where", "impl", "dyn", "const",
+];
+
+fn panic_path(file: &File, outline: &Outline, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if outline.in_test_code(i) {
+            continue;
+        }
+        match toks[i].kind {
+            TokKind::Ident => {
+                let text = file.text(i);
+                if (text == "unwrap" || text == "expect")
+                    && i > 0
+                    && file.is_punct(i - 1, ".")
+                    && file.is_punct(i + 1, "(")
+                {
+                    out.push(finding(
+                        file,
+                        i,
+                        RuleId::PanicPath,
+                        format!(
+                            "`.{text}()` in the service request path: malformed or \
+                             hostile input must produce a protocol error response, \
+                             not a panic"
+                        ),
+                    ));
+                } else if PANIC_MACROS.contains(&text) && file.is_punct(i + 1, "!") {
+                    out.push(finding(
+                        file,
+                        i,
+                        RuleId::PanicPath,
+                        format!(
+                            "`{text}!` in the service request path: the server must \
+                             stay up under any input — return an error instead"
+                        ),
+                    ));
+                }
+            }
+            TokKind::Punct if file.text(i) == "[" && i > 0 => {
+                let prev = &toks[i - 1];
+                let prev_text = file.text(i - 1);
+                let indexable = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev_text),
+                    TokKind::Punct => prev_text == ")" || prev_text == "]",
+                    _ => false,
+                };
+                // `x[..]` (full-range) cannot panic; skip it.
+                let full_range = file.is_punct(i + 1, ".")
+                    && file.is_punct(i + 2, ".")
+                    && file.is_punct(i + 3, "]");
+                if indexable && !full_range {
+                    out.push(finding(
+                        file,
+                        i,
+                        RuleId::PanicPath,
+                        format!(
+                            "indexing `{prev_text}[…]` in the service request path can \
+                             panic out of bounds: destructure with a slice pattern or \
+                             use `.get(…)`"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn unsafe_comment(file: &File, out: &mut Vec<Finding>) {
+    for i in 0..file.toks.len() {
+        if file.toks[i].kind != TokKind::Ident || file.text(i) != "unsafe" {
+            continue;
+        }
+        // Walk the contiguous comment run immediately before the token
+        // (attributes and modifiers in between are allowed).
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            match file.toks[j].kind {
+                TokKind::LineComment | TokKind::BlockComment
+                    if file.text(j).contains("SAFETY:") =>
+                {
+                    documented = true;
+                    break;
+                }
+                // Skip backwards over attribute/modifier tokens on the same
+                // construct; stop at statement boundaries.
+                TokKind::Punct if matches!(file.text(j), ";" | "{" | "}") => break,
+                _ => {}
+            }
+        }
+        if !documented {
+            out.push(finding(
+                file,
+                i,
+                RuleId::UnsafeComment,
+                "`unsafe` without a `// SAFETY:` comment: every unsafe site must state \
+                 the invariant that makes it sound"
+                    .into(),
+            ));
+        }
+    }
+}

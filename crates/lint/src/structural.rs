@@ -1,0 +1,287 @@
+//! The cross-file `cache-key` rule.
+//!
+//! The plan cache's soundness rests on one structural property: *every
+//! answer-affecting knob is part of the cache key*. The key achieves this
+//! by embedding whole config types (`PlanKey` holds a `PartSolver`, which
+//! holds the complete `S2BddConfig`) so derived `Eq`/`Hash` cover every
+//! field automatically — but that chain is invisible to the compiler as a
+//! *policy*: nothing stops a refactor from projecting three fields out of
+//! the config "for efficiency" and silently dropping the fourth.
+//!
+//! This rule makes the chain checkable from `lint.toml` declarations:
+//!
+//! * **embed** — a container's definition must textually mention the
+//!   embedded type (`PlanKey` → `PartSolver` → `S2BddConfig`).
+//! * **consult** — every field of a watched struct must be read somewhere
+//!   in its consulting region (catches a `PlanBudget` knob that is added
+//!   and defaulted but never routed).
+//! * **variants** — every variant of a watched enum must be matched as
+//!   `Type::Variant` outside its definition (catches a `SemanticsSpec`
+//!   variant that never reaches a part computation).
+
+use crate::config::{Config, ConsultCheck, EmbedLink, VariantCheck};
+use crate::outline::{Item, ItemKind, Outline};
+use crate::report::Finding;
+use crate::tokens::{File, TokKind};
+use std::collections::BTreeMap;
+
+/// One parsed file with its outline, as the engine holds them.
+pub struct Parsed {
+    /// The tokenized file.
+    pub file: File,
+    /// Its item outline.
+    pub outline: Outline,
+}
+
+const RULE: &str = "cache-key";
+
+/// Run every cache-key declaration over the parsed workspace.
+pub fn check(files: &BTreeMap<String, Parsed>, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for embed in &cfg.embeds {
+        check_embed(files, embed, &mut out);
+    }
+    for consult in &cfg.consults {
+        check_consult(files, consult, &mut out);
+    }
+    for variants in &cfg.variants {
+        check_variants(files, variants, &mut out);
+    }
+    out
+}
+
+fn missing_file(path: &str, what: &str) -> Finding {
+    Finding {
+        rule: RULE,
+        file: path.to_string(),
+        line: 1,
+        col: 1,
+        message: format!("cache-key declaration references {what}, but the file was not scanned"),
+    }
+}
+
+/// Find a struct-or-enum definition by name.
+fn find_type<'a>(parsed: &'a Parsed, name: &str) -> Option<&'a Item> {
+    parsed
+        .outline
+        .find(ItemKind::Struct, name)
+        .or_else(|| parsed.outline.find(ItemKind::Enum, name))
+}
+
+fn check_embed(files: &BTreeMap<String, Parsed>, embed: &EmbedLink, out: &mut Vec<Finding>) {
+    let Some(parsed) = files.get(&embed.file) else {
+        out.push(missing_file(&embed.file, &format!("`{}`", embed.container)));
+        return;
+    };
+    let Some(item) = find_type(parsed, &embed.container) else {
+        out.push(Finding {
+            rule: RULE,
+            file: embed.file.clone(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "expected a `{}` definition here (cache-key embed chain); \
+                 if it moved, update lint.toml",
+                embed.container
+            ),
+        });
+        return;
+    };
+    let (Some(open), Some(close)) = (item.body_open, item.body_close) else {
+        return;
+    };
+    let embedded = (open..=close).any(|i| parsed.file.is_ident(i, &embed.member));
+    if !embedded {
+        let kw = &parsed.file.toks[item.kw];
+        out.push(Finding {
+            rule: RULE,
+            file: embed.file.clone(),
+            line: kw.line,
+            col: kw.col,
+            message: format!(
+                "`{}` no longer embeds `{}`: the cache key must carry the complete \
+                 type so every present and future field stays part of the key's \
+                 identity (DESIGN.md §9.5)",
+                embed.container, embed.member
+            ),
+        });
+    }
+}
+
+fn check_consult(files: &BTreeMap<String, Parsed>, consult: &ConsultCheck, out: &mut Vec<Finding>) {
+    let Some(def) = files.get(&consult.defined_in) else {
+        out.push(missing_file(
+            &consult.defined_in,
+            &format!("`{}`", consult.type_name),
+        ));
+        return;
+    };
+    let Some(item) = def.outline.find(ItemKind::Struct, &consult.type_name) else {
+        out.push(missing_file(
+            &consult.defined_in,
+            &format!("struct `{}`", consult.type_name),
+        ));
+        return;
+    };
+    let fields = struct_fields(&def.file, item);
+    for field in &fields {
+        let mut consulted = false;
+        for path in &consult.consulted_in {
+            let Some(parsed) = files.get(path) else {
+                continue;
+            };
+            if mentions_ident_outside(parsed, field, &consult.type_name) {
+                consulted = true;
+                break;
+            }
+        }
+        if !consulted {
+            let kw = &def.file.toks[item.kw];
+            out.push(Finding {
+                rule: RULE,
+                file: consult.defined_in.clone(),
+                line: kw.line,
+                col: kw.col,
+                message: format!(
+                    "field `{}.{}` is never consulted in {:?}: a knob that does not \
+                     reach the plan key or the routing decision can silently alias \
+                     cached results — wire it through or remove it",
+                    consult.type_name, field, consult.consulted_in
+                ),
+            });
+        }
+    }
+}
+
+fn check_variants(files: &BTreeMap<String, Parsed>, vc: &VariantCheck, out: &mut Vec<Finding>) {
+    let Some(def) = files.get(&vc.defined_in) else {
+        out.push(missing_file(&vc.defined_in, &format!("`{}`", vc.type_name)));
+        return;
+    };
+    let Some(item) = def.outline.find(ItemKind::Enum, &vc.type_name) else {
+        out.push(missing_file(
+            &vc.defined_in,
+            &format!("enum `{}`", vc.type_name),
+        ));
+        return;
+    };
+    let variants = enum_variants(&def.file, item);
+    let Some(matched) = files.get(&vc.matched_in) else {
+        out.push(missing_file(&vc.matched_in, "the variant-handling region"));
+        return;
+    };
+    for variant in &variants {
+        if !matches_variant(matched, &vc.type_name, variant) {
+            let kw = &def.file.toks[item.kw];
+            out.push(Finding {
+                rule: RULE,
+                file: vc.defined_in.clone(),
+                line: kw.line,
+                col: kw.col,
+                message: format!(
+                    "variant `{}::{}` is never matched in {}: every semantics variant \
+                     must map to a part computation, or cached parts can alias across \
+                     semantics",
+                    vc.type_name, variant, vc.matched_in
+                ),
+            });
+        }
+    }
+}
+
+/// Field names of a struct: identifiers at body depth 1 directly followed
+/// by a single `:`.
+fn struct_fields(file: &File, item: &Item) -> Vec<String> {
+    let (Some(open), Some(close)) = (item.body_open, item.body_close) else {
+        return Vec::new();
+    };
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    for i in open..=close {
+        if file.toks[i].kind == TokKind::Punct {
+            match file.text(i) {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        if depth == 1
+            && file.toks[i].kind == TokKind::Ident
+            && file.is_punct(i + 1, ":")
+            && !file.is_punct(i + 2, ":")
+        {
+            fields.push(file.text(i).to_string());
+        }
+    }
+    fields
+}
+
+/// Variant names of an enum: identifiers at body depth 1 whose preceding
+/// non-comment token is `{`, `,`, or `]` (attribute close).
+fn enum_variants(file: &File, item: &Item) -> Vec<String> {
+    let (Some(open), Some(close)) = (item.body_open, item.body_close) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    for i in open..=close {
+        if file.toks[i].kind == TokKind::Punct {
+            match file.text(i) {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        if depth != 1 || file.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let prev = (open..i)
+            .rev()
+            .find(|&j| {
+                !matches!(
+                    file.toks[j].kind,
+                    TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .map(|j| file.text(j));
+        if matches!(prev, Some("{") | Some(",") | Some("]")) {
+            variants.push(file.text(i).to_string());
+        }
+    }
+    variants
+}
+
+/// Whether `ident` appears in live (non-test) code outside `type_name`'s
+/// own definition and its `impl Default` block.
+fn mentions_ident_outside(parsed: &Parsed, ident: &str, type_name: &str) -> bool {
+    let excluded: Vec<&Item> = parsed
+        .outline
+        .items
+        .iter()
+        .filter(|it| {
+            (it.name == type_name && matches!(it.kind, ItemKind::Struct | ItemKind::Enum))
+                || (it.kind == ItemKind::Impl && it.name == type_name && it.trait_name == "Default")
+        })
+        .collect();
+    (0..parsed.file.toks.len()).any(|i| {
+        parsed.file.is_ident(i, ident)
+            && !parsed.outline.in_test_code(i)
+            && !excluded.iter().any(|it| it.contains(i))
+    })
+}
+
+/// Whether `Type::Variant` appears in live code outside the enum's own
+/// definition.
+fn matches_variant(parsed: &Parsed, type_name: &str, variant: &str) -> bool {
+    let def = parsed.outline.find(ItemKind::Enum, type_name);
+    (0..parsed.file.toks.len()).any(|i| {
+        parsed.file.is_ident(i, type_name)
+            && parsed.file.is_punct(i + 1, ":")
+            && parsed.file.is_punct(i + 2, ":")
+            && parsed.file.is_ident(i + 3, variant)
+            && !parsed.outline.in_test_code(i)
+            && def.map_or(true, |d| !d.contains(i))
+    })
+}

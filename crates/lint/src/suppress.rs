@@ -1,0 +1,139 @@
+//! `// netrel-lint: allow(rule, reason = "…")` suppression comments.
+//!
+//! A suppression silences findings of one named rule on one line: the
+//! comment's own line when the comment trails code, or the next line that
+//! carries a token when the comment stands alone. Suppressions are never
+//! free — each one is counted and listed in the report, and a suppression
+//! without a `reason` is itself a finding (`bad-suppression`), so the
+//! escape hatch cannot silently become a policy.
+
+use crate::tokens::{File, TokKind};
+
+/// One parsed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: String,
+    /// The justification, empty when missing (which is itself reported).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+    /// Column of the comment.
+    pub col: u32,
+}
+
+/// Extract every suppression in `file`.
+pub fn suppressions(file: &File) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, tok) in file.toks.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = file.text(i);
+        let Some(rest) = text
+            .trim_start_matches('/')
+            .trim_start()
+            .strip_prefix("netrel-lint:")
+        else {
+            continue;
+        };
+        let Some((rule, reason)) = parse_allow(rest) else {
+            continue;
+        };
+        // Trailing comment (code earlier on the same line) targets its own
+        // line; a standalone comment targets the next token-bearing line.
+        let trailing = file.toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment));
+        let target_line = if trailing {
+            tok.line
+        } else {
+            file.toks[i + 1..]
+                .iter()
+                .find(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+                .map_or(tok.line, |t| t.line)
+        };
+        out.push(Suppression {
+            rule,
+            reason,
+            comment_line: tok.line,
+            target_line,
+            col: tok.col,
+        });
+    }
+    out
+}
+
+/// Parse `allow(rule)` / `allow(rule, reason = "…")` after the
+/// `netrel-lint:` marker. Returns `None` for text that does not parse as a
+/// suppression at all (it is then just a comment).
+fn parse_allow(rest: &str) -> Option<(String, String)> {
+    let rest = rest.trim_start();
+    let args = rest.strip_prefix("allow")?.trim_start();
+    let args = args.strip_prefix('(')?;
+    let close = args.rfind(')')?;
+    let args = &args[..close];
+    let (rule, tail) = match args.split_once(',') {
+        Some((r, t)) => (r.trim(), t.trim()),
+        None => (args.trim(), ""),
+    };
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let reason = tail
+        .strip_prefix("reason")
+        .and_then(|t| t.trim_start().strip_prefix('='))
+        .map(|t| t.trim().trim_matches('"').to_string())
+        .unwrap_or_default();
+    Some((rule.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standalone_comment_targets_the_next_code_line() {
+        let f = File::parse(
+            "t.rs",
+            "// netrel-lint: allow(thread-count, reason = \"seed-stable\")\nlet n = avail();\n",
+        );
+        let s = suppressions(&f);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rule, "thread-count");
+        assert_eq!(s[0].reason, "seed-stable");
+        assert_eq!(s[0].comment_line, 1);
+        assert_eq!(s[0].target_line, 2);
+    }
+
+    #[test]
+    fn trailing_comment_targets_its_own_line() {
+        let f = File::parse(
+            "t.rs",
+            "let x = 1; // netrel-lint: allow(wall-clock, reason = \"obs only\")\n",
+        );
+        let s = suppressions(&f);
+        assert_eq!(s[0].target_line, 1);
+    }
+
+    #[test]
+    fn missing_reason_parses_with_empty_reason() {
+        let f = File::parse(
+            "t.rs",
+            "// netrel-lint: allow(hash-iteration)\nlet x = 1;\n",
+        );
+        let s = suppressions(&f);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].reason.is_empty());
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let f = File::parse("t.rs", "// netrel-lint is great\n// allow(x)\nlet x = 1;\n");
+        assert!(suppressions(&f).is_empty());
+    }
+}

@@ -1,0 +1,442 @@
+//! A minimal line/column-tracking Rust tokenizer.
+//!
+//! Just enough lexical structure for source-level rules: identifiers,
+//! lifetimes, the four literal families (string, raw string, char, number —
+//! byte variants included), comments (line and nested block), and
+//! single-character punctuation. No keywords table, no operator gluing —
+//! rules match token *sequences*, so `::` is simply two adjacent `:`
+//! tokens (adjacency is checkable via byte offsets when it matters, which
+//! it never does for these rules).
+//!
+//! The tokenizer must never misclassify a region: an `unwrap()` inside a
+//! string literal is data, not code, and a `// SAFETY:` inside a raw
+//! string is not a safety comment. That is the whole reason this exists
+//! instead of a regex pass.
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `br"…"`).
+    Str,
+    /// Numeric literal (integer or float, any base, suffixes included).
+    Num,
+    /// Line comment (`// …`), text includes the slashes.
+    LineComment,
+    /// Block comment (`/* … */`, nesting handled), text includes delimiters.
+    BlockComment,
+    /// Any other single character (punctuation, operators, braces).
+    Punct,
+}
+
+/// One token: class plus location. The text lives in the source buffer;
+/// [`File::text`] slices it back out.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based source column (in bytes) of the first character.
+    pub col: u32,
+}
+
+/// One tokenized source file.
+pub struct File {
+    /// Workspace-relative path, used verbatim in findings.
+    pub path: String,
+    /// The raw source text.
+    pub src: String,
+    /// The token stream, in source order.
+    pub toks: Vec<Tok>,
+}
+
+impl File {
+    /// Tokenize `src` under the display path `path`.
+    pub fn parse(path: impl Into<String>, src: impl Into<String>) -> File {
+        let src = src.into();
+        let toks = tokenize(&src);
+        File {
+            path: path.into(),
+            src,
+            toks,
+        }
+    }
+
+    /// The source text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        let t = &self.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    /// Whether token `i` is an identifier with exactly this text.
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && self.text(i) == text)
+    }
+
+    /// Whether token `i` is punctuation with exactly this text.
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.text(i) == text)
+    }
+
+    /// Index of the next non-comment token at or after `i`.
+    pub fn skip_comments(&self, mut i: usize) -> usize {
+        while i < self.toks.len()
+            && matches!(
+                self.toks[i].kind,
+                TokKind::LineComment | TokKind::BlockComment
+            )
+        {
+            i += 1;
+        }
+        i
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenize one Rust source buffer. Unterminated literals and comments are
+/// tolerated (the token simply runs to end of input): a lint must degrade
+/// gracefully on the half-written files an editor hands it.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while cur.pos < cur.src.len() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let c = cur.peek(0);
+        let kind = if c.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        } else if c == b'/' && cur.peek(1) == b'/' {
+            while cur.pos < cur.src.len() && cur.peek(0) != b'\n' {
+                cur.bump();
+            }
+            TokKind::LineComment
+        } else if c == b'/' && cur.peek(1) == b'*' {
+            cur.bump_n(2);
+            let mut depth = 1usize;
+            while cur.pos < cur.src.len() && depth > 0 {
+                if cur.peek(0) == b'/' && cur.peek(1) == b'*' {
+                    depth += 1;
+                    cur.bump_n(2);
+                } else if cur.peek(0) == b'*' && cur.peek(1) == b'/' {
+                    depth -= 1;
+                    cur.bump_n(2);
+                } else {
+                    cur.bump();
+                }
+            }
+            TokKind::BlockComment
+        } else if c == b'r' && (cur.peek(1) == b'"' || cur.peek(1) == b'#') && raw_str(&cur, 1) {
+            lex_raw_string(&mut cur, 1);
+            TokKind::Str
+        } else if c == b'b' && cur.peek(1) == b'r' && raw_str(&cur, 2) {
+            lex_raw_string(&mut cur, 2);
+            TokKind::Str
+        } else if c == b'b' && cur.peek(1) == b'"' {
+            cur.bump();
+            lex_quoted(&mut cur, b'"');
+            TokKind::Str
+        } else if c == b'b' && cur.peek(1) == b'\'' {
+            cur.bump();
+            lex_quoted(&mut cur, b'\'');
+            TokKind::Char
+        } else if c == b'r' && cur.peek(1) == b'#' && is_ident_start(cur.peek(2)) {
+            // Raw identifier `r#match`.
+            cur.bump_n(2);
+            while is_ident_cont(cur.peek(0)) {
+                cur.bump();
+            }
+            TokKind::Ident
+        } else if is_ident_start(c) {
+            while is_ident_cont(cur.peek(0)) {
+                cur.bump();
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            TokKind::Num
+        } else if c == b'"' {
+            lex_quoted(&mut cur, b'"');
+            TokKind::Str
+        } else if c == b'\'' {
+            // `'a'` is a char literal; `'a` (no closing quote) is a
+            // lifetime; `'\n'` is a char; `'_` is a lifetime.
+            if is_ident_start(cur.peek(1)) {
+                // Scan the identifier run after the quote; a closing quote
+                // right after makes it a char literal.
+                let mut k = 2;
+                while is_ident_cont(cur.peek(k)) {
+                    k += 1;
+                }
+                if cur.peek(k) == b'\'' {
+                    cur.bump_n(k + 1);
+                    TokKind::Char
+                } else {
+                    cur.bump(); // the quote
+                    while is_ident_cont(cur.peek(0)) {
+                        cur.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            } else {
+                lex_quoted(&mut cur, b'\'');
+                TokKind::Char
+            }
+        } else {
+            cur.bump();
+            TokKind::Punct
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// Whether the bytes at `cur.pos + offset` begin `#*"` — i.e. the remainder
+/// of a raw-string opener after its `r`/`br` prefix.
+fn raw_str(cur: &Cursor<'_>, offset: usize) -> bool {
+    let mut k = offset;
+    while cur.peek(k) == b'#' {
+        k += 1;
+    }
+    cur.peek(k) == b'"'
+}
+
+/// Consume a raw string starting at the `r`/`b` (skip `prefix` bytes first).
+fn lex_raw_string(cur: &mut Cursor<'_>, prefix: usize) {
+    cur.bump_n(prefix);
+    let mut hashes = 0usize;
+    while cur.peek(0) == b'#' {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        if cur.pos >= cur.src.len() {
+            return;
+        }
+        if cur.peek(0) == b'"' {
+            let mut k = 1;
+            while k <= hashes && cur.peek(k) == b'#' {
+                k += 1;
+            }
+            if k == hashes + 1 {
+                cur.bump_n(hashes + 1);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consume a quoted literal (string or char) including its delimiters,
+/// honoring backslash escapes.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: u8) {
+    cur.bump(); // opening delimiter
+    while cur.pos < cur.src.len() {
+        match cur.peek(0) {
+            b'\\' => cur.bump_n(2),
+            c if c == quote => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Consume a numeric literal: prefix bases, underscores, a fractional part,
+/// an exponent, and any alphanumeric suffix. Over-accepts degenerate forms;
+/// a lint never needs to validate numbers, only to not split them.
+fn lex_number(cur: &mut Cursor<'_>) {
+    if cur.peek(0) == b'0' && matches!(cur.peek(1), b'x' | b'o' | b'b') {
+        cur.bump_n(2);
+    }
+    let mut seen_dot = false;
+    loop {
+        let c = cur.peek(0);
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // `e+` / `e-` exponents keep the literal going.
+            if (c == b'e' || c == b'E') && matches!(cur.peek(1), b'+' | b'-') {
+                cur.bump();
+            }
+            cur.bump();
+        } else if c == b'.' && !seen_dot && cur.peek(1).is_ascii_digit() {
+            seen_dot = true;
+            cur.bump();
+        } else {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let f = File::parse("t.rs", src);
+        (0..f.toks.len())
+            .map(|i| (f.toks[i].kind, f.text(i).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let got = kinds(r#"let s = "no.unwrap() here";"#);
+        assert_eq!(got[3], (TokKind::Str, r#""no.unwrap() here""#.into()));
+        assert!(!got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_at_matching_fence() {
+        let src = r###"let s = r#"quote " inside"# + r"plain";"###;
+        let got = kinds(src);
+        assert_eq!(got[3], (TokKind::Str, r###"r#"quote " inside"#"###.into()));
+        assert_eq!(got[5], (TokKind::Str, r#"r"plain""#.into()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_lex_as_strings() {
+        let got = kinds(r##"(b"bytes", br#"raw"#, b'x')"##);
+        assert_eq!(got[1].0, TokKind::Str);
+        assert_eq!(got[3].0, TokKind::Str);
+        assert_eq!(got[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let got = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].0, TokKind::BlockComment);
+        assert_eq!(got[1].1, "/* outer /* inner */ still */");
+        assert_eq!(got[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let s = 'static; }");
+        let lifetimes: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let chars: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert_eq!(chars, ["'z'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_lex_whole() {
+        let got = kinds(r"('\'', '\n', '\u{1F600}')");
+        let chars: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, [r"'\''", r"'\n'", r"'\u{1F600}'"]);
+    }
+
+    #[test]
+    fn line_and_column_tracking_is_one_based_and_exact() {
+        let f = File::parse("t.rs", "ab\n  cd(e)\n");
+        let at = |i: usize| (f.toks[i].line, f.toks[i].col, f.text(i).to_string());
+        assert_eq!(at(0), (1, 1, "ab".into()));
+        assert_eq!(at(1), (2, 3, "cd".into()));
+        assert_eq!(at(2), (2, 5, "(".into()));
+        assert_eq!(at(3), (2, 6, "e".into()));
+    }
+
+    #[test]
+    fn numbers_lex_whole_including_exponents_and_suffixes() {
+        let got = kinds("0x5eed 1_000_000usize 2.5e-3 1.0f64 0.95");
+        assert!(got.iter().all(|(k, _)| *k == TokKind::Num));
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn comments_in_strings_are_not_comments() {
+        let got = kinds(r#"let s = "// SAFETY: not a comment";"#);
+        assert!(!got
+            .iter()
+            .any(|(k, _)| matches!(k, TokKind::LineComment | TokKind::BlockComment)));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let got = kinds("let r#match = 1;");
+        assert_eq!(got[1], (TokKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang_or_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'\\", "b\"open"] {
+            let _ = tokenize(src);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! A TOML-subset reader for `lint.toml`.
+//!
+//! Supports exactly what the checked-in config needs: comments, `[a.b]`
+//! tables, `[[a.b]]` arrays of tables, and `key = value` where value is a
+//! basic string, integer, boolean, or a (possibly multi-line) array of
+//! basic strings. Anything fancier (dates, floats, inline tables, dotted
+//! keys) is a parse error — the config should stay boring.
+//!
+//! Tables are `BTreeMap`s throughout: the lint's own output order must be
+//! deterministic, so its config representation is too.
+
+use std::collections::BTreeMap;
+
+/// One parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Basic string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Array (of any values; the config only uses string arrays).
+    Array(Vec<Value>),
+    /// Table (from `[header]` sections or nested assignment).
+    Table(Table),
+    /// Array of tables (from `[[header]]` sections).
+    TableArray(Vec<Table>),
+}
+
+/// A TOML table: ordered key → value map.
+pub type Table = BTreeMap<String, Value>;
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements as strings, if this is an array of strings.
+    pub fn as_str_array(&self) -> Option<Vec<&str>> {
+        match self {
+            Value::Array(items) => items.iter().map(Value::as_str).collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a TOML-subset document into its root table.
+pub fn parse(src: &str) -> Result<Table, String> {
+    let mut root = Table::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = src.lines().enumerate();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("lint.toml:{}: {}", lineno + 1, msg);
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            let path = split_path(header);
+            push_table_array(&mut root, &path).map_err(|e| err(&e))?;
+            current = path;
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let path = split_path(header);
+            ensure_table(&mut root, &path).map_err(|e| err(&e))?;
+            current = path;
+        } else if let Some((key, rest)) = line.split_once('=') {
+            let key = key.trim().to_string();
+            let mut buf = rest.trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets close.
+            while buf.starts_with('[') && !balanced(&buf) {
+                let (_, next) = lines.next().ok_or_else(|| err("unterminated array"))?;
+                buf.push(' ');
+                buf.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(buf.trim()).map_err(|e| err(&e))?;
+            let table = navigate(&mut root, &current).map_err(|e| err(&e))?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(&format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(err("expected `[table]`, `[[table]]`, or `key = value`"));
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a basic string is content, not a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(buf: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in buf.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn split_path(header: &str) -> Vec<String> {
+    header.split('.').map(|s| s.trim().to_string()).collect()
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: {text}"))?;
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: {text}"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value: {text}"))
+}
+
+/// Split an array body on commas outside strings.
+fn split_top_level(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut buf = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                buf.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut buf));
+            }
+            _ => buf.push(c),
+        }
+    }
+    parts.push(buf);
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Walk to (and create) the table at `path`, entering the last element of
+/// any table-array on the way.
+fn navigate<'a>(root: &'a mut Table, path: &[String]) -> Result<&'a mut Table, String> {
+    let mut table = root;
+    for seg in path {
+        let entry = table
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        table = match entry {
+            Value::Table(t) => t,
+            Value::TableArray(items) => items.last_mut().ok_or("empty table array")?,
+            _ => return Err(format!("`{seg}` is not a table")),
+        };
+    }
+    Ok(table)
+}
+
+fn ensure_table(root: &mut Table, path: &[String]) -> Result<(), String> {
+    navigate(root, path).map(|_| ())
+}
+
+fn push_table_array(root: &mut Table, path: &[String]) -> Result<(), String> {
+    let (last, prefix) = path.split_last().ok_or("empty table path")?;
+    let parent = navigate(root, prefix)?;
+    match parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::TableArray(Vec::new()))
+    {
+        Value::TableArray(items) => {
+            items.push(Table::new());
+            Ok(())
+        }
+        _ => Err(format!("`{last}` is not an array of tables")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_arrays_and_scalars_round_trip() {
+        let doc = r#"
+schema = "netrel-lint/v1"  # trailing comment
+[profiles.default]
+paths = ["crates", "src"]
+rules = [
+  "unsafe-comment",
+  "bad-suppression",
+]
+strict = true
+max = 3
+[[rules.cache-key.embed]]
+file = "a.rs"
+[[rules.cache-key.embed]]
+file = "b.rs"
+"#;
+        let t = parse(doc).unwrap();
+        assert_eq!(t["schema"].as_str(), Some("netrel-lint/v1"));
+        let Value::Table(profiles) = &t["profiles"] else {
+            panic!()
+        };
+        let Value::Table(default) = &profiles["default"] else {
+            panic!()
+        };
+        assert_eq!(default["paths"].as_str_array().unwrap(), ["crates", "src"]);
+        assert_eq!(
+            default["rules"].as_str_array().unwrap(),
+            ["unsafe-comment", "bad-suppression"]
+        );
+        assert_eq!(default["strict"], Value::Bool(true));
+        assert_eq!(default["max"], Value::Int(3));
+        let Value::Table(rules) = &t["rules"] else {
+            panic!()
+        };
+        let Value::Table(ck) = &rules["cache-key"] else {
+            panic!()
+        };
+        let Value::TableArray(embeds) = &ck["embed"] else {
+            panic!()
+        };
+        assert_eq!(embeds.len(), 2);
+        assert_eq!(embeds[1]["file"].as_str(), Some("b.rs"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_content() {
+        let t = parse("key = \"a#b\"\n").unwrap();
+        assert_eq!(t["key"].as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn bad_lines_report_their_line_number() {
+        let e = parse("ok = true\nnot a line\n").unwrap_err();
+        assert!(e.contains("lint.toml:2"), "{e}");
+    }
+}

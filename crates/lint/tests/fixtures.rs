@@ -1,0 +1,342 @@
+//! Rule fixtures: every violation class the pass exists to catch, pinned
+//! by exact `(rule, line, col)` so a rule that drifts (stops firing, or
+//! fires on the wrong token) fails loudly — plus the non-violations each
+//! rule must stay silent on, so the false-positive budget is pinned too.
+
+use netrel_lint::config::Config;
+use netrel_lint::outline::Outline;
+use netrel_lint::rules::RuleId;
+use netrel_lint::structural::{self, Parsed};
+use netrel_lint::tokens::File;
+use netrel_lint::{run_snippet, Report};
+use std::collections::BTreeMap;
+
+/// Run one snippet and project its findings to `(rule, line, col)`.
+fn findings(src: &str, rules: &[RuleId]) -> Vec<(String, u32, u32)> {
+    project(&run_snippet("fixture.rs", src, rules))
+}
+
+fn project(report: &Report) -> Vec<(String, u32, u32)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line, f.col))
+        .collect()
+}
+
+// ── wall-clock ──────────────────────────────────────────────────────────
+
+#[test]
+fn wall_clock_flags_instant_now() {
+    let src = "fn t() -> u64 {\n    let t0 = std::time::Instant::now();\n    0\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::WallClock]),
+        vec![("wall-clock".into(), 2, 25)]
+    );
+}
+
+#[test]
+fn wall_clock_flags_system_time() {
+    let src = "fn t() {\n    let _ = std::time::SystemTime::now();\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::WallClock]),
+        vec![("wall-clock".into(), 2, 24)]
+    );
+}
+
+#[test]
+fn wall_clock_allows_instant_arithmetic() {
+    // Holding or differencing an `Instant` someone else read is fine; only
+    // the `Instant::now()` read itself is the violation.
+    let src = "fn t(i: std::time::Instant) -> u128 {\n    i.elapsed().as_nanos()\n}\n";
+    assert_eq!(findings(src, &[RuleId::WallClock]), vec![]);
+}
+
+// ── thread-count ────────────────────────────────────────────────────────
+
+#[test]
+fn thread_count_flags_available_parallelism() {
+    let src = "fn t() -> usize {\n    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::ThreadCount]),
+        vec![("thread-count".into(), 2, 18)]
+    );
+}
+
+#[test]
+fn thread_count_suppression_with_reason_is_counted() {
+    let src = "fn t() -> usize {\n    // netrel-lint: allow(thread-count, reason = \"seed-stable partition\")\n    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n}\n";
+    let report = run_snippet("fixture.rs", src, &[RuleId::ThreadCount]);
+    assert_eq!(project(&report), vec![]);
+    assert_eq!(report.suppressions.len(), 1);
+    assert_eq!(report.suppressions[0].rule, "thread-count");
+    assert_eq!(report.suppressions[0].reason, "seed-stable partition");
+}
+
+// ── hash-iteration ──────────────────────────────────────────────────────
+
+#[test]
+fn hash_iteration_flags_iter_on_typed_param() {
+    let src = "use std::collections::HashMap;\nfn sum(m: &HashMap<u32, u32>) -> u32 {\n    let mut s = 0;\n    for (_, v) in m.iter() {\n        s += v;\n    }\n    s\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::HashIteration]),
+        vec![("hash-iteration".into(), 4, 19)]
+    );
+}
+
+#[test]
+fn hash_iteration_flags_for_loop_over_set() {
+    let src = "use std::collections::HashSet;\nfn count(s: HashSet<u32>) -> u32 {\n    let mut n = 0;\n    for _x in &s {\n        n += 1;\n    }\n    n\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::HashIteration]),
+        vec![("hash-iteration".into(), 4, 16)]
+    );
+}
+
+#[test]
+fn hash_iteration_tracks_untyped_let_binding() {
+    let src = "fn f() -> u32 {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    let mut t = 0;\n    for k in m.keys() {\n        t += k;\n    }\n    t\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::HashIteration]),
+        vec![("hash-iteration".into(), 4, 14)]
+    );
+}
+
+#[test]
+fn hash_iteration_allows_lookups_and_membership() {
+    // The determinism hazard is iteration order, not hashing: point
+    // lookups, inserts, and membership tests stay legal in hot paths.
+    let src = "use std::collections::HashMap;\nfn f(m: &mut HashMap<u32, u32>) -> bool {\n    m.insert(1, 2);\n    m.contains_key(&1) && m.get(&2).is_some()\n}\n";
+    assert_eq!(findings(src, &[RuleId::HashIteration]), vec![]);
+}
+
+#[test]
+fn hash_iteration_ignores_btree_iteration() {
+    let src = "use std::collections::BTreeMap;\nfn sum(m: &BTreeMap<u32, u32>) -> u32 {\n    m.iter().map(|(_, v)| v).sum()\n}\n";
+    assert_eq!(findings(src, &[RuleId::HashIteration]), vec![]);
+}
+
+// ── panic-path ──────────────────────────────────────────────────────────
+
+#[test]
+fn panic_path_flags_unwrap_and_expect() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\nfn g(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::PanicPath]),
+        vec![("panic-path".into(), 2, 7), ("panic-path".into(), 5, 7)]
+    );
+}
+
+#[test]
+fn panic_path_flags_panicking_macros() {
+    let src =
+        "fn f(n: u32) -> u32 {\n    if n > 3 {\n        panic!(\"too big\");\n    }\n    n\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::PanicPath]),
+        vec![("panic-path".into(), 3, 9)]
+    );
+}
+
+#[test]
+fn panic_path_flags_unguarded_indexing() {
+    let src = "fn f(v: &[u32]) -> u32 {\n    v[0]\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::PanicPath]),
+        vec![("panic-path".into(), 2, 6)]
+    );
+}
+
+#[test]
+fn panic_path_allows_full_range_and_slice_patterns() {
+    // `&t[..]` cannot panic, and slice patterns are the sanctioned
+    // replacement for index chains — both must stay silent.
+    let src = "fn f(t: &[u32]) -> u32 {\n    match &t[..] {\n        [a, b, _] => a + b,\n        _ => 0,\n    }\n}\n";
+    assert_eq!(findings(src, &[RuleId::PanicPath]), vec![]);
+}
+
+#[test]
+fn panic_path_allows_unwrap_or_else() {
+    // Only the exact `unwrap`/`expect` methods panic; the `_or`/`_or_else`
+    // family is the fix, not a violation.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or_else(|| 7).max(x.unwrap_or(0))\n}\n";
+    assert_eq!(findings(src, &[RuleId::PanicPath]), vec![]);
+}
+
+#[test]
+fn panic_path_skips_test_code() {
+    let src = "#[test]\nfn t() {\n    let x: Option<u32> = None;\n    x.unwrap();\n    assert_eq!(1, 1);\n}\n";
+    assert_eq!(findings(src, &[RuleId::PanicPath]), vec![]);
+}
+
+#[test]
+fn panic_path_skips_cfg_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn helper(v: &[u32]) -> u32 {\n        v[0] + v[1]\n    }\n}\n";
+    assert_eq!(findings(src, &[RuleId::PanicPath]), vec![]);
+}
+
+// ── unsafe-comment ──────────────────────────────────────────────────────
+
+#[test]
+fn unsafe_comment_flags_undocumented_unsafe() {
+    let src = "fn f() -> u8 {\n    let b = [1u8, 2];\n    unsafe { *b.as_ptr() }\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::UnsafeComment]),
+        vec![("unsafe-comment".into(), 3, 5)]
+    );
+}
+
+#[test]
+fn unsafe_comment_accepts_safety_comment() {
+    let src = "fn f() -> u8 {\n    let b = [1u8, 2];\n    // SAFETY: the pointer derives from a live local array.\n    unsafe { *b.as_ptr() }\n}\n";
+    assert_eq!(findings(src, &[RuleId::UnsafeComment]), vec![]);
+}
+
+#[test]
+fn unsafe_comment_applies_in_test_code_too() {
+    // Unlike the other rules, the unsafe audit has no test-code exemption.
+    let src = "#[test]\nfn t() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::UnsafeComment]),
+        vec![("unsafe-comment".into(), 3, 5)]
+    );
+}
+
+// ── suppression hygiene ─────────────────────────────────────────────────
+
+#[test]
+fn trailing_suppression_silences_own_line() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // netrel-lint: allow(panic-path, reason = \"fixture\")\n}\n";
+    let report = run_snippet("fixture.rs", src, &[RuleId::PanicPath]);
+    assert_eq!(project(&report), vec![]);
+    assert_eq!(report.suppressions.len(), 1);
+}
+
+#[test]
+fn reasonless_suppression_is_a_finding() {
+    let src =
+        "fn f(x: Option<u32>) -> u32 {\n    // netrel-lint: allow(panic-path)\n    x.unwrap()\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::PanicPath]),
+        vec![("bad-suppression".into(), 2, 5)]
+    );
+}
+
+#[test]
+fn unused_suppression_is_a_finding() {
+    let src =
+        "fn f() -> u32 {\n    // netrel-lint: allow(panic-path, reason = \"stale\")\n    1\n}\n";
+    assert_eq!(
+        findings(src, &[RuleId::PanicPath]),
+        vec![("unused-suppression".into(), 2, 5)]
+    );
+}
+
+#[test]
+fn suppression_only_matches_its_rule() {
+    // A panic-path allow must not silence a wall-clock finding on the
+    // same line.
+    let src = "fn f() -> u64 {\n    // netrel-lint: allow(panic-path, reason = \"wrong rule\")\n    let _ = std::time::Instant::now();\n    0\n}\n";
+    let got = findings(src, &[RuleId::WallClock, RuleId::PanicPath]);
+    assert_eq!(
+        got,
+        vec![
+            ("unused-suppression".into(), 2, 5),
+            ("wall-clock".into(), 3, 24),
+        ]
+    );
+}
+
+// ── cache-key (structural) ──────────────────────────────────────────────
+
+fn parsed(path: &str, src: &str) -> Parsed {
+    let file = File::parse(path, src);
+    let outline = Outline::parse(&file);
+    Parsed { file, outline }
+}
+
+fn structural_findings(cfg_src: &str, files: &[(&str, &str)]) -> Vec<(String, String, u32, u32)> {
+    let cfg = Config::parse(cfg_src).expect("fixture config must parse");
+    let map: BTreeMap<String, Parsed> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), parsed(p, s)))
+        .collect();
+    structural::check(&map, &cfg)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.file, f.line, f.col))
+        .collect()
+}
+
+const EMBED_CFG: &str = "schema = \"netrel-lint/v1\"\n\n[[rules.cache-key.embed]]\nfile = \"src/cache.rs\"\ncontainer = \"PlanKey\"\nmember = \"PartSolver\"\n";
+
+#[test]
+fn cache_key_embed_accepts_complete_key() {
+    let src = "pub struct PartSolver;\npub struct PlanKey {\n    edges: u64,\n    solver: PartSolver,\n}\n";
+    assert_eq!(
+        structural_findings(EMBED_CFG, &[("src/cache.rs", src)]),
+        vec![]
+    );
+}
+
+#[test]
+fn cache_key_embed_catches_field_projection() {
+    // The classic aliasing bug: the key projects scalar fields instead of
+    // embedding the whole solver config, so a future config field silently
+    // stops being part of the cache identity.
+    let src = "pub struct PartSolver;\npub struct PlanKey {\n    edges: u64,\n    samples: u64,\n    seed: u64,\n}\n";
+    assert_eq!(
+        structural_findings(EMBED_CFG, &[("src/cache.rs", src)]),
+        vec![("cache-key".into(), "src/cache.rs".into(), 2, 5)]
+    );
+}
+
+const CONSULT_CFG: &str = "schema = \"netrel-lint/v1\"\n\n[[rules.cache-key.consult]]\ntype = \"PlanBudget\"\ndefined_in = \"src/planner.rs\"\nconsulted_in = [\"src/planner.rs\"]\n";
+
+#[test]
+fn cache_key_consult_accepts_routed_fields() {
+    let src = "pub struct PlanBudget {\n    node_budget: u64,\n}\nfn plan(b: &PlanBudget) -> u64 {\n    b.node_budget\n}\n";
+    assert_eq!(
+        structural_findings(CONSULT_CFG, &[("src/planner.rs", src)]),
+        vec![]
+    );
+}
+
+#[test]
+fn cache_key_consult_catches_dead_knob() {
+    // `confidence` exists and is defaulted but never read outside the
+    // struct's own definition and Default impl — the knob does nothing.
+    let src = "pub struct PlanBudget {\n    node_budget: u64,\n    confidence: f64,\n}\nimpl Default for PlanBudget {\n    fn default() -> Self {\n        PlanBudget { node_budget: 1, confidence: 0.95 }\n    }\n}\nfn plan(b: &PlanBudget) -> u64 {\n    b.node_budget\n}\n";
+    assert_eq!(
+        structural_findings(CONSULT_CFG, &[("src/planner.rs", src)]),
+        vec![("cache-key".into(), "src/planner.rs".into(), 1, 5)]
+    );
+}
+
+const VARIANT_CFG: &str = "schema = \"netrel-lint/v1\"\n\n[[rules.cache-key.variants]]\ntype = \"SemanticsSpec\"\ndefined_in = \"src/semantics.rs\"\nmatched_in = \"src/semantics.rs\"\n";
+
+#[test]
+fn cache_key_variants_accepts_full_match() {
+    let src = "pub enum SemanticsSpec {\n    TwoTerminal,\n    AllTerminal,\n}\nfn part(s: &SemanticsSpec) -> u32 {\n    match s {\n        SemanticsSpec::TwoTerminal => 1,\n        SemanticsSpec::AllTerminal => 2,\n    }\n}\n";
+    assert_eq!(
+        structural_findings(VARIANT_CFG, &[("src/semantics.rs", src)]),
+        vec![]
+    );
+}
+
+#[test]
+fn cache_key_variants_catches_unhandled_variant() {
+    let src = "pub enum SemanticsSpec {\n    TwoTerminal,\n    AllTerminal,\n}\nfn part(s: &SemanticsSpec) -> u32 {\n    match s {\n        SemanticsSpec::TwoTerminal => 1,\n        _ => 0,\n    }\n}\n";
+    assert_eq!(
+        structural_findings(VARIANT_CFG, &[("src/semantics.rs", src)]),
+        vec![("cache-key".into(), "src/semantics.rs".into(), 1, 5)]
+    );
+}
+
+#[test]
+fn cache_key_reports_missing_definition() {
+    // If the watched type moves files without lint.toml being updated, the
+    // rule must fail closed, not silently pass.
+    let src = "pub struct SomethingElse;\n";
+    let got = structural_findings(EMBED_CFG, &[("src/cache.rs", src)]);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, "cache-key");
+}

@@ -1,0 +1,46 @@
+//! The workspace self-check: the real pass, over the real tree, under the
+//! checked-in `lint.toml`, must be clean. This is the test-suite twin of
+//! the CI `cargo run -p netrel-lint -- --deny-warnings` gate — if either a
+//! rule regresses into a false positive or a real violation lands, this
+//! fails with the full human report in the message.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let cfg_src = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is checked in");
+    let cfg = netrel_lint::Config::parse(&cfg_src).expect("lint.toml parses");
+    let report = netrel_lint::run(&root, &cfg).expect("pass runs");
+
+    assert!(
+        report.is_clean(),
+        "netrel-lint found violations in the workspace:\n{}",
+        report.to_human()
+    );
+    // The walk must actually be covering the tree — a silently-empty scan
+    // would also be "clean".
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — the workspace walk is broken",
+        report.files_scanned
+    );
+    // Every suppression in the tree must carry its audit trail. (Count
+    // changes are fine; a reasonless allow is not.)
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.is_empty(),
+            "suppression of `{}` at {}:{} has no reason",
+            s.rule,
+            s.file,
+            s.line
+        );
+    }
+    // The JSON rendering stays on the stable schema CI archives.
+    assert!(report
+        .to_json()
+        .contains("\"schema\": \"netrel-lint-report/v1\""));
+}
