@@ -47,9 +47,10 @@ fn main() -> ExitCode {
             metrics = false;
         } else if arg == "--help" || arg == "-h" {
             eprintln!("usage: netrel-serve [--workers=N] [--cache=ENTRIES] [--no-metrics]");
-            eprintln!("NDJSON protocol: register/query/batch/stats/metrics, planner budgets,");
-            eprintln!("CI fields, and `trace` — documented in docs/protocol.md (netcat/curl");
-            eprintln!("examples included) and the `netrel_engine::service` rustdoc.");
+            eprintln!("NDJSON protocol: register/query/batch/mutate/whatif/maximize/stats/");
+            eprintln!("metrics, planner budgets, CI fields, and `trace` — documented in");
+            eprintln!("docs/protocol.md (netcat/curl examples included) and the");
+            eprintln!("`netrel_engine::service` rustdoc.");
             return ExitCode::SUCCESS;
         } else {
             eprintln!("warning: unknown argument {arg:?} ignored");

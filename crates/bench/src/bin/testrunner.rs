@@ -8,13 +8,15 @@
 //!   (default output `BENCH_engine.json`),
 //! * `--suite=planner` — adaptive-planner routing and completion
 //!   (default output `BENCH_planner.json`),
-//! * `--suite=all`     — both suites merged into one report (the default;
+//! * `--suite=mutation` — incremental updates vs. full rebuild and
+//!   what-if throughput (default output `BENCH_mutation.json`),
+//! * `--suite=all`     — every suite merged into one report (the default;
 //!   default output `BENCH_testrunner.json`).
 //!
 //! Row names are disjoint across suites, so the merged report diffs
 //! per-row with `bench-diff` exactly like the per-suite ones.
 
-use netrel_bench::throughput::{engine_suite, planner_suite};
+use netrel_bench::throughput::{engine_suite, mutation_suite, planner_suite};
 use netrel_bench::{maybe_dump_json, parse_args};
 use netrel_obs::BenchReport;
 
@@ -34,6 +36,12 @@ fn main() {
             }
             planner_suite(&args)
         }
+        "mutation" => {
+            if args.json.is_none() {
+                args.json = Some("BENCH_mutation.json".into());
+            }
+            mutation_suite(&args)
+        }
         "all" => {
             if args.json.is_none() {
                 args.json = Some("BENCH_testrunner.json".into());
@@ -41,10 +49,11 @@ fn main() {
             let mut merged = engine_suite(&args);
             merged.bench = "netrel-testrunner".to_string();
             merged.rows.extend(planner_suite(&args).rows);
+            merged.rows.extend(mutation_suite(&args).rows);
             merged
         }
         other => {
-            eprintln!("unknown --suite={other:?}; expected engine, planner, or all");
+            eprintln!("unknown --suite={other:?}; expected engine, planner, mutation, or all");
             std::process::exit(2);
         }
     };

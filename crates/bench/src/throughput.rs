@@ -6,6 +6,9 @@
 //! * [`planner_suite`] — adaptive-planner completion and routing on dense
 //!   batches the capped exact path cannot finish (the former
 //!   `planner_throughput` bin; baseline `BENCH_planner.json`).
+//! * [`mutation_suite`] — incremental one-edge updates + re-query against
+//!   full rebuild + cold query, plus what-if throughput (baseline
+//!   `BENCH_mutation.json`).
 //!
 //! Both emit rows in the unified [`netrel_obs::BenchReport`] schema so the
 //! committed `BENCH_*.json` baselines stay machine-comparable with
@@ -15,7 +18,8 @@ use crate::{fmt_secs, overlapping_terminal_pairs, time, RunArgs};
 use netrel_core::{pro_reliability, ProConfig, SemanticsSpec};
 use netrel_datasets::{clique, Dataset};
 use netrel_engine::{
-    Engine, EngineConfig, PlanBudget, PlannedQuery, QueryAnswer, Recorder, ReliabilityQuery,
+    Engine, EngineConfig, Mutation, PlanBudget, PlannedQuery, QueryAnswer, Recorder,
+    ReliabilityQuery,
 };
 use netrel_obs::{BenchReport, BenchRow, CacheCounts, RouteCounts};
 use netrel_s2bdd::S2BddConfig;
@@ -321,6 +325,175 @@ pub fn planner_suite(args: &RunArgs) -> BenchReport {
             row.routes.enumeration,
         );
         assert_eq!(done, n_queries, "the planner must complete every query");
+        report.rows.push(row);
+    }
+    report
+}
+
+const MUTATION_ROUNDS: usize = 10;
+const WHATIF_ROUNDS: usize = 25;
+
+/// Incremental-maintenance baseline (ISSUE 10's acceptance metric): per
+/// workload, `MUTATION_ROUNDS` rounds of one-edge `update_edge_prob`
+/// (index patch + scoped invalidation) and warm re-query on a live engine
+/// are timed against the same mutation sequence replayed as full rebuilds
+/// (fresh engine registration + cold query), asserting bit-identical
+/// answers every round. The `update_vs_rebuild` extra is the headline
+/// ratio — the mutation op alone against a rebuild round — and must stay
+/// under 10% on the largest (tokyo) fixture, because the index patch is
+/// local and invalidation only touches keys covering the edge. A what-if
+/// loop against the warm committed engine rounds out the row.
+pub fn mutation_suite(args: &RunArgs) -> BenchReport {
+    let budget = PlanBudget::default();
+    let tokyo = Dataset::Tokyo.generate(args.scale, args.seed);
+    let tokyo_terminals = overlapping_terminal_pairs(&tokyo, 4, args.seed)[0].clone();
+    // Tokyo is the largest fixture (sparse, exact route, many independent
+    // parts); clique55 pins the same contract on the bit-sampling route,
+    // where every update hits the single whole-graph part.
+    let workloads: Vec<(String, UncertainGraph, Vec<usize>)> = vec![
+        ("mutation-tokyo".into(), tokyo, tokyo_terminals),
+        ("mutation-clique55".into(), clique(55), vec![0, 54]),
+    ];
+
+    let mut report = BenchReport::new("netrel-testrunner/mutation", args.scale, args.seed);
+    println!(
+        "{:<18} {:>7} {:>10} {:>10} {:>10} {:>8} {:>11}",
+        "workload", "rounds", "update", "requery", "rebuild", "ratio", "whatif q/s"
+    );
+    for (workload, g, terminals) in workloads {
+        let q = PlannedQuery::with_semantics(
+            SemanticsSpec::KTerminal,
+            terminals,
+            ProConfig::default(),
+            budget,
+        );
+        let mut engine = Engine::with_recorder(EngineConfig::sequential(), Recorder::enabled());
+        let id = engine.register(workload.clone(), g.clone());
+        let (_, cold_secs) = time(|| engine.run_planned(id, &q).unwrap());
+
+        // A deterministic schedule touching spread-out edges with
+        // probabilities strictly inside (0, 1).
+        let m = g.num_edges();
+        let schedule: Vec<(usize, f64)> = (0..MUTATION_ROUNDS)
+            .map(|i| ((i * 37) % m, 0.35 + (i % 50) as f64 * 0.01))
+            .collect();
+
+        // Incremental path: commit one update (index patch + scoped
+        // invalidation — the op the acceptance ratio is about), then
+        // re-answer the query against the surviving warm cache.
+        let before = engine.metrics_snapshot().expect("recorder is enabled");
+        let mut live = Vec::with_capacity(MUTATION_ROUNDS);
+        let (mut update_secs, mut requery_secs) = (0.0f64, 0.0f64);
+        for &(e, p) in &schedule {
+            let (_, t) = time(|| engine.update_edge_prob(id, e, p).unwrap());
+            update_secs += t;
+            let (a, t) = time(|| engine.run_planned(id, &q).unwrap());
+            requery_secs += t;
+            live.push(a);
+        }
+        let after = engine.metrics_snapshot().expect("recorder is enabled");
+
+        // Rebuild path: the identical mutation prefix applied to a copy,
+        // answered by a brand-new engine (index build + cold cache) each
+        // round — exactly what a client without the mutation layer pays.
+        let mut g2 = g.clone();
+        let mut rebuilt = Vec::with_capacity(MUTATION_ROUNDS);
+        let (_, rebuild_secs) = time(|| {
+            for &(e, p) in &schedule {
+                g2.update_edge_prob(e, p).unwrap();
+                let mut fresh = Engine::new(EngineConfig::sequential());
+                let fid = fresh.register("fresh", g2.clone());
+                rebuilt.push(fresh.run_planned(fid, &q).unwrap());
+            }
+        });
+        for (i, (a, b)) in live.iter().zip(&rebuilt).enumerate() {
+            assert_eq!(
+                a.estimate.to_bits(),
+                b.estimate.to_bits(),
+                "{workload} round {i}: mutated engine diverged from rebuild"
+            );
+        }
+
+        // What-if throughput against the warm committed engine: hypotheses
+        // re-key per evaluation and commit nothing.
+        let (_, whatif_secs) = time(|| {
+            for i in 0..WHATIF_ROUNDS {
+                let hypo = Mutation::UpdateProb {
+                    edge: (i * 13) % m,
+                    p: 0.5,
+                };
+                engine.evaluate_with(id, &[hypo], &q).unwrap();
+            }
+        });
+
+        let update_vs_rebuild = update_secs / rebuild_secs;
+        let whatif_qps = WHATIF_ROUNDS as f64 / whatif_secs;
+        let live_secs = update_secs + requery_secs;
+        let row = BenchRow {
+            name: workload.clone(),
+            semantics: "k-terminal".to_string(),
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges() as u64,
+            queries: MUTATION_ROUNDS as u64,
+            secs: live_secs,
+            qps: MUTATION_ROUNDS as f64 / live_secs,
+            routes: RouteCounts {
+                exact: after.routes.exact - before.routes.exact,
+                bounded: after.routes.bounded - before.routes.bounded,
+                sampling: after.routes.sampling - before.routes.sampling,
+                bit_sampling: after.routes.bit_sampling - before.routes.bit_sampling,
+                enumeration: after.routes.enumeration - before.routes.enumeration,
+            },
+            cache: CacheCounts {
+                hits: after.cache_hits - before.cache_hits,
+                misses: after.cache_misses - before.cache_misses,
+                evictions: after.cache_evictions - before.cache_evictions,
+                entries: engine.cache_stats().entries as u64,
+            },
+            extra: vec![
+                ("cold_secs".to_string(), cold_secs),
+                (
+                    "update_secs_per_op".to_string(),
+                    update_secs / MUTATION_ROUNDS as f64,
+                ),
+                (
+                    "requery_secs_per_op".to_string(),
+                    requery_secs / MUTATION_ROUNDS as f64,
+                ),
+                (
+                    "rebuild_secs_per_op".to_string(),
+                    rebuild_secs / MUTATION_ROUNDS as f64,
+                ),
+                ("update_vs_rebuild".to_string(), update_vs_rebuild),
+                ("whatif_qps".to_string(), whatif_qps),
+                (
+                    "index_patched".to_string(),
+                    (after.index_patched - before.index_patched) as f64,
+                ),
+                (
+                    "index_rebuilt".to_string(),
+                    (after.index_rebuilt - before.index_rebuilt) as f64,
+                ),
+                (
+                    "invalidated_plans".to_string(),
+                    (after.invalidated_plans - before.invalidated_plans) as f64,
+                ),
+                (
+                    "invalidated_worlds".to_string(),
+                    (after.invalidated_worlds - before.invalidated_worlds) as f64,
+                ),
+            ],
+        };
+        println!(
+            "{:<18} {:>7} {:>10} {:>10} {:>10} {:>8.4} {:>11.1}",
+            row.name,
+            row.queries,
+            fmt_secs(update_secs / MUTATION_ROUNDS as f64),
+            fmt_secs(requery_secs / MUTATION_ROUNDS as f64),
+            fmt_secs(rebuild_secs / MUTATION_ROUNDS as f64),
+            update_vs_rebuild,
+            whatif_qps,
+        );
         report.rows.push(row);
     }
     report

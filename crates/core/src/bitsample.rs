@@ -400,6 +400,22 @@ impl WorldBank {
         part_impl(Some(self), part, cfg)
     }
 
+    /// Drop every memoized mask matrix whose key embeds an edge with
+    /// probability bits `prob_bits`; returns how many were dropped. The
+    /// mutation layer calls this after an edge update or removal: entries
+    /// are values of a pure function of their key, so dropping is memory
+    /// hygiene (a mutated part re-keys and can never hit a stale entry) —
+    /// matching on the old probability bits over-approximates "covers the
+    /// mutated edge" exactly like the plan cache's scoped invalidation.
+    pub fn invalidate_prob(&self, prob_bits: u64) -> usize {
+        let mut map = self.inner.lock().expect("world bank poisoned");
+        let before = map.len();
+        // Retain with a per-entry predicate drops the same set in any
+        // iteration order, so hash-map order cannot leak into answers.
+        map.retain(|key, _| key.edges.iter().all(|&(_, _, pb)| pb != prob_bits));
+        before - map.len()
+    }
+
     /// The memoized `blocks × edges` mask matrix for this key, computing
     /// and installing it on a miss.
     fn masks(&self, g: &UncertainGraph, cfg: BitSamplingConfig) -> Arc<Vec<u64>> {

@@ -239,6 +239,25 @@ impl PlanCache {
         self.map.is_empty()
     }
 
+    /// Drop every entry attributed to the graph at registry index `owner`
+    /// whose key embeds an edge with probability bits `prob_bits`; returns
+    /// how many were dropped. This is the mutation layer's scoped
+    /// invalidation: keys are full structural keys (edges + probability
+    /// bits), so a stale entry can never alias a post-mutation lookup and
+    /// dropping is memory hygiene, not a correctness requirement. Matching
+    /// on the touched edge's old probability bits is a sound
+    /// over-approximation of "covers the mutated edge" — parts renumber
+    /// vertices densely, so endpoint ids cannot identify the edge, but any
+    /// key without those probability bits provably does not contain it.
+    pub fn invalidate_prob(&mut self, owner: usize, prob_bits: u64) -> usize {
+        let before = self.map.len();
+        // netrel-lint: allow(hash-iteration, reason = "retain with a per-entry predicate drops the same set in any iteration order")
+        self.map.retain(|key, entry| {
+            entry.owner != owner || key.edges.iter().all(|&(_, _, pb)| pb != prob_bits)
+        });
+        before - self.map.len()
+    }
+
     /// Drop all entries (counters are preserved).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -590,6 +609,26 @@ mod tests {
         let ins = off.insert(key(4, cfg), result(0.4), 0);
         assert!(!ins.stored);
         assert!(ins.evicted_age.is_none());
+    }
+
+    #[test]
+    fn invalidate_prob_is_owner_and_probability_scoped() {
+        let mut c = PlanCache::new(8);
+        let cfg = S2BddConfig::default();
+        // Tag 1 and tag 2 differ in one edge probability; both live for
+        // owners 0 and 1.
+        c.insert(key(1, cfg), result(0.1), 0);
+        c.insert(key(2, cfg), result(0.2), 0);
+        c.insert(key(3, cfg), result(0.3), 1);
+        let touched = (0.25 + 1.0 / 1000.0f64).to_bits(); // tag 1's edge
+        assert_eq!(c.invalidate_prob(0, touched), 1);
+        assert!(c.get(&key(1, cfg)).is_none(), "touched entry must drop");
+        assert!(c.get(&key(2, cfg)).is_some(), "untouched prob survives");
+        assert!(c.get(&key(3, cfg)).is_some(), "other owner survives");
+        // The shared 0.5 edge appears in every key: owner-scoped drop.
+        assert_eq!(c.invalidate_prob(1, 0.5f64.to_bits()), 1);
+        assert!(c.get(&key(2, cfg)).is_some(), "owner 0 untouched");
+        assert!(c.get(&key(3, cfg)).is_none());
     }
 
     #[test]

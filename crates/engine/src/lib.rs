@@ -56,6 +56,7 @@
 
 pub mod cache;
 mod executor;
+pub mod mutate;
 pub mod planner;
 pub mod service;
 
@@ -77,7 +78,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use mutate::{MaximizeResult, MaximizeStep, Mutation, MutationOutcome, MutationRecord};
 pub use netrel_obs::{MetricsSnapshot, QueryTrace, Recorder};
+pub use netrel_preprocess::IndexPatch;
 pub use planner::{plan_part, CostEstimate, PartPlan, PartSolver, PlanBudget, Route};
 
 /// Engine-level configuration.
@@ -463,6 +466,8 @@ struct RegisteredGraph {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_inserts: AtomicU64,
+    /// Committed mutations in application order (see [`mutate`]).
+    journal: Vec<mutate::MutationRecord>,
 }
 
 /// Per-graph registration and cache telemetry, serializable for the
@@ -623,6 +628,7 @@ impl Engine {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_inserts: AtomicU64::new(0),
+            journal: Vec::new(),
         });
         GraphId(id)
     }
@@ -763,26 +769,52 @@ impl Engine {
         queries: &[PlannedQuery],
     ) -> Result<Vec<Result<ReliabilityAnswer, EngineError>>, EngineError> {
         let rg = self.registered(id)?;
-        let metrics = self.obs.metrics();
+        let prepared = self.prepare_planned(&rg.graph, &rg.index, queries);
+        let answers = self
+            .execute(id.0, prepared)
+            .into_iter()
+            .zip(queries)
+            .map(|(a, q)| {
+                a.map(|a| {
+                    ReliabilityAnswer::from_assembled(
+                        q.semantics,
+                        a,
+                        &q.budget,
+                        q.semantics.semantics().value_upper(&rg.graph),
+                    )
+                })
+            })
+            .collect();
+        Ok(answers)
+    }
 
-        // Stage 1 (planned): semantics planning, then run the cost model on
-        // every part to materialize its routed solver. A traced query runs
-        // planning with its builder installed in the thread-local hook, so
-        // the core/preprocess spans ("plan.*", "preprocess.*") nest under
-        // this query's root.
-        let prepared: Vec<Result<PreparedQuery, EngineError>> = queries
+    /// Stage 1 of the planned path against an explicit `(graph, index)`
+    /// pair: semantics planning, then the cost model on every part to
+    /// materialize its routed solver. A traced query runs planning with its
+    /// builder installed in the thread-local hook, so the core/preprocess
+    /// spans ("plan.*", "preprocess.*") nest under this query's root.
+    /// Factored out of [`run_planned_batch`](Engine::run_planned_batch) so
+    /// the what-if path ([`Engine::evaluate_with`]) can plan against a
+    /// hypothetical graph while sharing the execution pipeline (and its
+    /// structurally-keyed plan cache) unchanged.
+    fn prepare_planned(
+        &self,
+        graph: &UncertainGraph,
+        index: &GraphIndex,
+        queries: &[PlannedQuery],
+    ) -> Vec<Result<PreparedQuery, EngineError>> {
+        let metrics = self.obs.metrics();
+        queries
             .iter()
             .map(|q| {
                 let t0 = metrics.map(|_| Instant::now());
                 if q.trace {
                     obs_trace::install(TraceBuilder::new());
                 }
-                let plan_result = q.semantics.semantics().plan(
-                    &rg.graph,
-                    &rg.index,
-                    &q.terminals,
-                    q.config.preprocess,
-                );
+                let plan_result =
+                    q.semantics
+                        .semantics()
+                        .plan(graph, index, &q.terminals, q.config.preprocess);
                 let mut tb = if q.trace { obs_trace::take() } else { None };
                 let plan = plan_result?; // a failed plan drops its trace
                 if let (Some(m), Some(t0)) = (metrics, t0) {
@@ -819,24 +851,7 @@ impl Engine {
                 let routes = plans.iter().map(|p| p.route).collect();
                 Ok(Self::prepared(plan, solvers, routes, tb))
             })
-            .collect();
-
-        let answers = self
-            .execute(id.0, prepared)
-            .into_iter()
-            .zip(queries)
-            .map(|(a, q)| {
-                a.map(|a| {
-                    ReliabilityAnswer::from_assembled(
-                        q.semantics,
-                        a,
-                        &q.budget,
-                        q.semantics.semantics().value_upper(&rg.graph),
-                    )
-                })
-            })
-            .collect();
-        Ok(answers)
+            .collect()
     }
 
     /// The catalogue counter a routed part increments. Enumeration is a

@@ -13,6 +13,9 @@
 //! {"op":"batch","graph":"g","queries":[{"terminals":[0,2]},{"terminals":[1,2],"seed":9}]}
 //! {"op":"query","graph":"g","terminals":[0,2],"budget":{"nodes":100000,"confidence":0.99}}
 //! {"op":"query","graph":"g","terminals":[0,2],"semantics":"d-hop","d":3}
+//! {"op":"mutate","graph":"g","mutations":[{"kind":"update_prob","edge":0,"p":0.4}]}
+//! {"op":"whatif","graph":"g","mutations":[{"kind":"remove_edge","edge":1}],"terminals":[0,2]}
+//! {"op":"maximize","graph":"g","s":0,"t":2,"k":1,"candidates":[{"kind":"add_edge","u":0,"v":2,"p":0.9}]}
 //! {"op":"stats"}
 //! ```
 //!
@@ -41,6 +44,19 @@
 //! shapes, field tables, netcat/curl examples — is documented in
 //! `docs/protocol.md`.
 //!
+//! ## Mutations
+//!
+//! `mutate` commits an ordered array of mutations to a registered graph
+//! (each entry is `{"kind":"update_prob","edge":e,"p":p}`,
+//! `{"kind":"add_edge","u":u,"v":v,"p":p}`, or
+//! `{"kind":"remove_edge","edge":e}`; edge ids are interpreted against the
+//! state each mutation applies to). The response carries one result slot
+//! per mutation in order — a rejected mutation changes nothing and does
+//! not stop later ones. `whatif` answers one planned query against a
+//! hypothetical mutation set without committing anything, and `maximize`
+//! runs the greedy `s`–`t` reliability-maximization loop over a candidate
+//! pool. Both accept the usual `budget` object. See `docs/protocol.md`.
+//!
 //! ## Observability
 //!
 //! `{"op":"metrics"}` returns the engine's metric catalogue twice: as
@@ -58,7 +74,10 @@
 //! payload. A `batch` response holds one `{ok, answer|error}` object per
 //! query in request order, so one bad query cannot poison a batch.
 
-use crate::{Engine, EngineError, PlanBudget, PlannedQuery, Recorder, ReliabilityQuery};
+use crate::{
+    Engine, EngineError, IndexPatch, Mutation, MutationOutcome, PlanBudget, PlannedQuery, Recorder,
+    ReliabilityQuery,
+};
 use netrel_core::{ProConfig, SemanticsSpec};
 use netrel_numeric::ConfidenceLevel;
 use netrel_s2bdd::{EstimatorKind, S2BddConfig};
@@ -125,6 +144,9 @@ impl Service {
                 "batch" => m.requests_batch.inc(),
                 "stats" => m.requests_stats.inc(),
                 "metrics" => m.requests_metrics.inc(),
+                "mutate" => m.requests_mutate.inc(),
+                "whatif" => m.requests_whatif.inc(),
+                "maximize" => m.requests_maximize.inc(),
                 _ => {}
             }
         }
@@ -134,6 +156,9 @@ impl Service {
             "batch" => self.op_batch(request),
             "stats" => Ok(self.op_stats()),
             "metrics" => self.op_metrics(),
+            "mutate" => self.op_mutate(request),
+            "whatif" => self.op_whatif(request),
+            "maximize" => self.op_maximize(request),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -283,6 +308,83 @@ impl Service {
         ]))
     }
 
+    fn op_mutate(&mut self, request: &Value) -> Result<Value, String> {
+        let id = self.graph_field(request)?;
+        let mutations = mutations_field(request, "mutations")?;
+        // Batch-style error isolation: mutations apply in order, each
+        // result slot carries its own `ok`, and a rejected mutation
+        // changes nothing (so later ids stay well-defined).
+        let results: Vec<Value> = mutations
+            .into_iter()
+            .map(|m| match self.engine.apply_mutation(id, m) {
+                Ok(outcome) => outcome_value(&outcome),
+                Err(e) => err_response(e.to_string()),
+            })
+            .collect();
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("mutate".into())),
+            ("results".into(), Value::Seq(results)),
+        ]))
+    }
+
+    fn op_whatif(&mut self, request: &Value) -> Result<Value, String> {
+        let id = self.graph_field(request)?;
+        let mutations = mutations_field(request, "mutations")?;
+        let query = parse_query(request, request)?;
+        // What-if evaluation always runs the planned pipeline; `budget`
+        // and `trace` work exactly as on a planned `query`.
+        let mut budget = PlanBudget::default();
+        apply_budget(request, &mut budget)?;
+        let mut planned =
+            PlannedQuery::with_semantics(query.semantics, query.terminals, query.config, budget);
+        if wants_trace(request) {
+            planned = planned.with_trace();
+        }
+        let answer = self
+            .engine
+            .evaluate_with(id, &mutations, &planned)
+            .map_err(|e| e.to_string())?;
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("whatif".into())),
+            ("answer".into(), answer.to_value()),
+        ]))
+    }
+
+    fn op_maximize(&mut self, request: &Value) -> Result<Value, String> {
+        let id = self.graph_field(request)?;
+        let s = u64_field(request, "s")? as usize;
+        let t = u64_field(request, "t")? as usize;
+        let k = u64_field(request, "k")? as usize;
+        let candidates = mutations_field(request, "candidates")?;
+        let mut budget = PlanBudget::default();
+        apply_budget(request, &mut budget)?;
+        let result = self
+            .engine
+            .maximize_reliability(id, s, t, k, &candidates, budget)
+            .map_err(|e| e.to_string())?;
+        let steps: Vec<Value> = result
+            .steps
+            .iter()
+            .map(|step| {
+                Value::Map(vec![
+                    ("candidate".into(), Value::U64(step.candidate as u64)),
+                    ("mutation".into(), mutation_value(&step.mutation)),
+                    ("reliability".into(), Value::F64(step.reliability)),
+                    ("exact".into(), Value::Bool(step.exact)),
+                ])
+            })
+            .collect();
+        Ok(Value::Map(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("maximize".into())),
+            ("baseline".into(), Value::F64(result.baseline)),
+            ("final".into(), Value::F64(result.final_reliability())),
+            ("steps".into(), Value::Seq(steps)),
+        ]))
+    }
+
     fn graph_field(&self, request: &Value) -> Result<crate::GraphId, String> {
         let name = str_field(request, "graph")?;
         self.engine
@@ -424,6 +526,95 @@ fn apply_knobs(v: &Value, s2bdd: &mut S2BddConfig) -> Result<(), String> {
         None => {}
     }
     Ok(())
+}
+
+/// A required array-of-mutation-objects field (`mutations`, `candidates`).
+fn mutations_field(v: &Value, key: &str) -> Result<Vec<Mutation>, String> {
+    match v.get(key) {
+        Some(Value::Seq(items)) => items.iter().map(parse_mutation).collect(),
+        Some(_) => Err(format!("`{key}` must be an array of mutation objects")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+/// Parse one mutation object (see the module docs for the three shapes).
+fn parse_mutation(item: &Value) -> Result<Mutation, String> {
+    match str_field(item, "kind")? {
+        "update_prob" => Ok(Mutation::UpdateProb {
+            edge: u64_field(item, "edge")? as usize,
+            p: f64_field(item, "p")?,
+        }),
+        "add_edge" => Ok(Mutation::AddEdge {
+            u: u64_field(item, "u")? as usize,
+            v: u64_field(item, "v")? as usize,
+            p: f64_field(item, "p")?,
+        }),
+        "remove_edge" => Ok(Mutation::RemoveEdge {
+            edge: u64_field(item, "edge")? as usize,
+        }),
+        other => Err(format!(
+            "unknown mutation kind `{other}` (use \"update_prob\", \"add_edge\", or \
+             \"remove_edge\")"
+        )),
+    }
+}
+
+/// Render one mutation back to its request shape (used by `maximize`).
+fn mutation_value(m: &Mutation) -> Value {
+    match *m {
+        Mutation::UpdateProb { edge, p } => Value::Map(vec![
+            ("kind".into(), Value::Str("update_prob".into())),
+            ("edge".into(), Value::U64(edge as u64)),
+            ("p".into(), Value::F64(p)),
+        ]),
+        Mutation::AddEdge { u, v, p } => Value::Map(vec![
+            ("kind".into(), Value::Str("add_edge".into())),
+            ("u".into(), Value::U64(u as u64)),
+            ("v".into(), Value::U64(v as u64)),
+            ("p".into(), Value::F64(p)),
+        ]),
+        Mutation::RemoveEdge { edge } => Value::Map(vec![
+            ("kind".into(), Value::Str("remove_edge".into())),
+            ("edge".into(), Value::U64(edge as u64)),
+        ]),
+    }
+}
+
+/// Render one committed mutation's outcome as a `mutate` result slot.
+fn outcome_value(o: &MutationOutcome) -> Value {
+    Value::Map(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("edge".into(), Value::U64(o.edge as u64)),
+        (
+            "index".into(),
+            Value::Str(
+                match o.patch {
+                    IndexPatch::Patched => "patched",
+                    IndexPatch::Rebuilt => "rebuilt",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "invalidated_plans".into(),
+            Value::U64(o.invalidated_plans as u64),
+        ),
+        (
+            "invalidated_worlds".into(),
+            Value::U64(o.invalidated_worlds as u64),
+        ),
+    ])
+}
+
+/// Required numeric field (integers widen to `f64`).
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::F64(x)) => Ok(*x),
+        Some(Value::U64(n)) => Ok(*n as f64),
+        Some(Value::I64(n)) => Ok(*n as f64),
+        Some(_) => Err(format!("field `{key}` must be a number")),
+        None => Err(format!("missing field `{key}`")),
+    }
 }
 
 fn edge_triple(item: &Value) -> Result<(usize, usize, f64), String> {
@@ -879,6 +1070,145 @@ mod tests {
         };
         assert_eq!(g.get("cache_entries"), Some(&Value::U64(0)));
         assert!(matches!(g.get("cache_misses"), Some(Value::U64(n)) if *n >= 1));
+    }
+
+    #[test]
+    fn mutate_commits_and_matches_a_fresh_registration() {
+        let mut s = service_with_graph();
+        // Commit: lower the 0–1 edge, add a chord, then drop edge 1 (1–2).
+        let v = parse(&s.handle_line(
+            r#"{"op":"mutate","graph":"g","mutations":[
+                {"kind":"update_prob","edge":0,"p":0.4},
+                {"kind":"add_edge","u":0,"v":2,"p":0.6},
+                {"kind":"remove_edge","edge":1}]}"#,
+        ));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let results = match v.get("results") {
+            Some(Value::Seq(r)) => r,
+            other => panic!("results missing: {other:?}"),
+        };
+        assert_eq!(results.len(), 3);
+        for r in results {
+            assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        }
+        // The added edge got the next dense id.
+        assert_eq!(results[1].get("edge"), Some(&Value::U64(4)));
+        // The mutated service and a service registered directly with the
+        // mutated edge list answer bit-identically.
+        let mut fresh = Service::default();
+        fresh.handle_line(
+            r#"{"op":"register","name":"g","vertices":4,
+                "edges":[[0,1,0.4],[2,3,0.9],[3,0,0.7],[0,2,0.6]]}"#,
+        );
+        let query = r#"{"op":"query","graph":"g","terminals":[0,2],"exact":true}"#;
+        assert_eq!(s.handle_line(query), fresh.handle_line(query));
+    }
+
+    #[test]
+    fn mutate_isolates_per_mutation_errors() {
+        let mut s = service_with_graph();
+        let v = parse(&s.handle_line(
+            r#"{"op":"mutate","graph":"g","mutations":[
+                {"kind":"remove_edge","edge":99},
+                {"kind":"update_prob","edge":0,"p":0.4}]}"#,
+        ));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let results = match v.get("results") {
+            Some(Value::Seq(r)) => r,
+            other => panic!("results missing: {other:?}"),
+        };
+        // The bad removal fails alone; the update after it still commits.
+        assert_eq!(results[0].get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(results[1].get("ok"), Some(&Value::Bool(true)));
+        // Malformed mutation arrays are request-level errors.
+        for bad in [
+            r#"{"op":"mutate","graph":"g","mutations":7}"#,
+            r#"{"op":"mutate","graph":"g"}"#,
+            r#"{"op":"mutate","graph":"g","mutations":[{"kind":"bogus"}]}"#,
+            r#"{"op":"mutate","graph":"g","mutations":[{"kind":"add_edge","u":0}]}"#,
+        ] {
+            let v = parse(&s.handle_line(bad));
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "line: {bad}");
+        }
+    }
+
+    #[test]
+    fn whatif_commits_nothing_and_matches_commit_then_query() {
+        // Drop the per-answer cache telemetry before comparing: the
+        // shared plan cache is warm by the second evaluation, so hit and
+        // miss counts legitimately differ while the answer itself must
+        // stay bit-identical.
+        fn sans_cache_telemetry(v: &Value) -> Value {
+            let answer = v.get("answer").expect("answer present");
+            let Value::Map(fields) = answer else {
+                panic!("answer is not an object: {answer:?}");
+            };
+            Value::Map(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k != "cache_hits" && k != "cache_misses")
+                    .cloned()
+                    .collect(),
+            )
+        }
+        let mut s = service_with_graph();
+        let whatif = parse(&s.handle_line(
+            r#"{"op":"whatif","graph":"g","terminals":[0,2],
+                "mutations":[{"kind":"update_prob","edge":0,"p":0.2}]}"#,
+        ));
+        assert_eq!(whatif.get("ok"), Some(&Value::Bool(true)), "{whatif:?}");
+        // The registered graph is untouched: a plain planned query equals
+        // one with an empty hypothesis.
+        let plain =
+            parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"plan":true}"#));
+        let empty = parse(
+            &s.handle_line(r#"{"op":"whatif","graph":"g","terminals":[0,2],"mutations":[]}"#),
+        );
+        assert_eq!(sans_cache_telemetry(&plain), sans_cache_telemetry(&empty));
+        // Committing the same mutation then querying gives the same answer.
+        s.handle_line(
+            r#"{"op":"mutate","graph":"g","mutations":[{"kind":"update_prob","edge":0,"p":0.2}]}"#,
+        );
+        let committed =
+            parse(&s.handle_line(r#"{"op":"query","graph":"g","terminals":[0,2],"plan":true}"#));
+        assert_eq!(
+            sans_cache_telemetry(&whatif),
+            sans_cache_telemetry(&committed)
+        );
+    }
+
+    #[test]
+    fn maximize_picks_the_direct_chord_first() {
+        let mut s = service_with_graph();
+        // A near-certain direct 0–2 chord dominates the weak alternatives.
+        let v = parse(&s.handle_line(
+            r#"{"op":"maximize","graph":"g","s":0,"t":2,"k":2,"candidates":[
+                {"kind":"update_prob","edge":1,"p":0.81},
+                {"kind":"add_edge","u":0,"v":2,"p":0.99},
+                {"kind":"add_edge","u":1,"v":3,"p":0.05}]}"#,
+        ));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{v:?}");
+        let steps = match v.get("steps") {
+            Some(Value::Seq(steps)) => steps,
+            other => panic!("steps missing: {other:?}"),
+        };
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].get("candidate"), Some(&Value::U64(1)));
+        let baseline = match v.get("baseline") {
+            Some(Value::F64(b)) => *b,
+            other => panic!("baseline missing: {other:?}"),
+        };
+        let final_r = match v.get("final") {
+            Some(Value::F64(f)) => *f,
+            other => panic!("final missing: {other:?}"),
+        };
+        assert!(final_r >= baseline, "{final_r} < {baseline}");
+        // The chosen mutation is echoed in request shape.
+        let m = steps[0].get("mutation").expect("mutation echoed");
+        assert_eq!(m.get("kind"), Some(&Value::Str("add_edge".into())));
+        // Missing fields are request-level errors.
+        let v = parse(&s.handle_line(r#"{"op":"maximize","graph":"g","s":0,"t":2,"k":1}"#));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
     }
 
     #[test]

@@ -209,6 +209,73 @@ fn trace_spans_are_well_formed_and_round_trip_through_serde() {
 }
 
 #[test]
+fn mutation_path_is_bit_identical_under_instrumentation() {
+    use netrel_engine::Mutation;
+
+    // The same mutation sequence on an instrumented and an uninstrumented
+    // engine: every outcome and every post-step answer must match bit for
+    // bit, and the mutation counters must actually move.
+    let mutations = [
+        Mutation::UpdateProb { edge: 2, p: 0.45 },
+        Mutation::AddEdge {
+            u: 1,
+            v: 3,
+            p: 0.35,
+        },
+        Mutation::RemoveEdge { edge: 5 },
+    ];
+    let queries: Vec<PlannedQuery> = five_semantics()
+        .into_iter()
+        .map(|(s, t)| PlannedQuery::with_semantics(s, t, sampling_cfg(11), PlanBudget::default()))
+        .collect();
+
+    let mut plain = Engine::new(EngineConfig::default());
+    let pid = plain.register("g", lollipop());
+    let mut inst = Engine::with_recorder(EngineConfig::default(), Recorder::enabled());
+    let iid = inst.register("g", lollipop());
+
+    for (step, m) in mutations.iter().enumerate() {
+        let x = plain.apply_mutation(pid, *m).unwrap();
+        let y = inst.apply_mutation(iid, *m).unwrap();
+        assert_eq!(x.edge, y.edge, "step {step}");
+        assert_eq!(x.patch, y.patch, "step {step}");
+        assert_eq!(x.invalidated_plans, y.invalidated_plans, "step {step}");
+        assert_eq!(x.invalidated_worlds, y.invalidated_worlds, "step {step}");
+        let a = plain.run_planned_batch(pid, &queries).unwrap();
+        let b = inst.run_planned_batch(iid, &queries).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.estimate.to_bits(), y.estimate.to_bits(), "step {step}");
+            assert_eq!(x.ci.lower.to_bits(), y.ci.lower.to_bits());
+            assert_eq!(x.ci.upper.to_bits(), y.ci.upper.to_bits());
+            assert_eq!(x.samples_used, y.samples_used);
+            assert_eq!(x.routes, y.routes);
+        }
+    }
+    // The what-if path under instrumentation, against the plain engine.
+    let q = &queries[0];
+    let hyp = [Mutation::UpdateProb { edge: 0, p: 0.2 }];
+    let x = plain.evaluate_with(pid, &hyp, q).unwrap();
+    let y = inst.evaluate_with(iid, &hyp, q).unwrap();
+    assert_eq!(x.estimate.to_bits(), y.estimate.to_bits());
+
+    let m = inst.metrics_snapshot().unwrap();
+    assert_eq!(m.mutations_update_prob, 1);
+    assert_eq!(m.mutations_add_edge, 1);
+    assert_eq!(m.mutations_remove_edge, 1);
+    assert_eq!(m.index_patched + m.index_rebuilt, 3);
+    assert_eq!(m.whatif_queries, 1);
+    // Journals agree too: instrumentation must not change bookkeeping.
+    let a = plain.mutation_journal(pid).unwrap();
+    let b = inst.mutation_journal(iid).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.mutation, y.mutation);
+        assert_eq!(x.outcome.patch, y.outcome.patch);
+    }
+}
+
+#[test]
 fn worker_count_does_not_change_instrumented_answers() {
     let q = PlannedQuery::with_config(vec![0, 7], sampling_cfg(5), PlanBudget::default());
     let mut seq = Engine::with_recorder(

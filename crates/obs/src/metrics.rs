@@ -212,6 +212,23 @@ pub struct Metrics {
     pub parts_per_query: Histogram,
     /// `GraphIndex` build latency at registration.
     pub index_build_seconds: Histogram,
+    // -- mutations -----------------------------------------------------
+    /// `update_edge_prob` mutations committed.
+    pub mutations_update_prob: Counter,
+    /// `add_edge` mutations committed.
+    pub mutations_add_edge: Counter,
+    /// `remove_edge` mutations committed.
+    pub mutations_remove_edge: Counter,
+    /// Mutations whose `GraphIndex` was patched in place.
+    pub index_patched: Counter,
+    /// Mutations that fell back to a full `GraphIndex` rebuild.
+    pub index_rebuilt: Counter,
+    /// Plan-cache entries invalidated by mutations.
+    pub invalidated_plans: Counter,
+    /// World-bank entries invalidated by mutations.
+    pub invalidated_worlds: Counter,
+    /// What-if evaluations (`evaluate_with`, including maximizer probes).
+    pub whatif_queries: Counter,
     // -- planner -------------------------------------------------------
     /// Parts routed to the unbounded-width exact S2BDD.
     pub route_exact: Counter,
@@ -265,6 +282,12 @@ pub struct Metrics {
     pub requests_stats: Counter,
     /// `metrics` requests handled.
     pub requests_metrics: Counter,
+    /// `mutate` requests handled.
+    pub requests_mutate: Counter,
+    /// `whatif` requests handled.
+    pub requests_whatif: Counter,
+    /// `maximize` requests handled.
+    pub requests_maximize: Counter,
     /// Requests answered with `"ok": false`.
     pub request_errors: Counter,
     /// Per-request handling latency.
@@ -283,6 +306,14 @@ impl Metrics {
             combine_seconds: Histogram::time(),
             parts_per_query: Histogram::count(),
             index_build_seconds: Histogram::time(),
+            mutations_update_prob: Counter::new(),
+            mutations_add_edge: Counter::new(),
+            mutations_remove_edge: Counter::new(),
+            index_patched: Counter::new(),
+            index_rebuilt: Counter::new(),
+            invalidated_plans: Counter::new(),
+            invalidated_worlds: Counter::new(),
+            whatif_queries: Counter::new(),
             route_exact: Counter::new(),
             route_bounded: Counter::new(),
             route_sampling: Counter::new(),
@@ -306,6 +337,9 @@ impl Metrics {
             requests_batch: Counter::new(),
             requests_stats: Counter::new(),
             requests_metrics: Counter::new(),
+            requests_mutate: Counter::new(),
+            requests_whatif: Counter::new(),
+            requests_maximize: Counter::new(),
             request_errors: Counter::new(),
             request_seconds: Histogram::time(),
         }
@@ -322,6 +356,14 @@ impl Metrics {
             combine_seconds: self.combine_seconds.snapshot(),
             parts_per_query: self.parts_per_query.snapshot(),
             index_build_seconds: self.index_build_seconds.snapshot(),
+            mutations_update_prob: self.mutations_update_prob.get(),
+            mutations_add_edge: self.mutations_add_edge.get(),
+            mutations_remove_edge: self.mutations_remove_edge.get(),
+            index_patched: self.index_patched.get(),
+            index_rebuilt: self.index_rebuilt.get(),
+            invalidated_plans: self.invalidated_plans.get(),
+            invalidated_worlds: self.invalidated_worlds.get(),
+            whatif_queries: self.whatif_queries.get(),
             routes: RouteCountsSnapshot {
                 exact: self.route_exact.get(),
                 bounded: self.route_bounded.get(),
@@ -347,6 +389,9 @@ impl Metrics {
             requests_batch: self.requests_batch.get(),
             requests_stats: self.requests_stats.get(),
             requests_metrics: self.requests_metrics.get(),
+            requests_mutate: self.requests_mutate.get(),
+            requests_whatif: self.requests_whatif.get(),
+            requests_maximize: self.requests_maximize.get(),
             request_errors: self.request_errors.get(),
             request_seconds: self.request_seconds.snapshot(),
         }
@@ -395,6 +440,22 @@ pub struct MetricsSnapshot {
     pub parts_per_query: HistogramSnapshot,
     /// `GraphIndex` build latency.
     pub index_build_seconds: HistogramSnapshot,
+    /// `update_edge_prob` mutations committed.
+    pub mutations_update_prob: u64,
+    /// `add_edge` mutations committed.
+    pub mutations_add_edge: u64,
+    /// `remove_edge` mutations committed.
+    pub mutations_remove_edge: u64,
+    /// Mutations whose `GraphIndex` was patched in place.
+    pub index_patched: u64,
+    /// Mutations that fell back to a full `GraphIndex` rebuild.
+    pub index_rebuilt: u64,
+    /// Plan-cache entries invalidated by mutations.
+    pub invalidated_plans: u64,
+    /// World-bank entries invalidated by mutations.
+    pub invalidated_worlds: u64,
+    /// What-if evaluations (including maximizer probes).
+    pub whatif_queries: u64,
     /// Planner route decisions.
     pub routes: RouteCountsSnapshot,
     /// Final-block lane utilization per bit-sampling-routed part.
@@ -433,6 +494,12 @@ pub struct MetricsSnapshot {
     pub requests_stats: u64,
     /// `metrics` requests handled.
     pub requests_metrics: u64,
+    /// `mutate` requests handled.
+    pub requests_mutate: u64,
+    /// `whatif` requests handled.
+    pub requests_whatif: u64,
+    /// `maximize` requests handled.
+    pub requests_maximize: u64,
     /// Requests answered with an error.
     pub request_errors: u64,
     /// Per-request handling latency.
@@ -463,6 +530,32 @@ impl MetricsSnapshot {
             "netrel_index_build_seconds",
             &self.index_build_seconds,
         );
+        push_counter_family(
+            &mut out,
+            "netrel_mutations_total",
+            &[
+                ("op", "update_prob", self.mutations_update_prob),
+                ("op", "add_edge", self.mutations_add_edge),
+                ("op", "remove_edge", self.mutations_remove_edge),
+            ],
+        );
+        push_counter_family(
+            &mut out,
+            "netrel_index_maintenance_total",
+            &[
+                ("kind", "patched", self.index_patched),
+                ("kind", "rebuilt", self.index_rebuilt),
+            ],
+        );
+        push_counter_family(
+            &mut out,
+            "netrel_invalidations_total",
+            &[
+                ("target", "plans", self.invalidated_plans),
+                ("target", "worlds", self.invalidated_worlds),
+            ],
+        );
+        push_counter(&mut out, "netrel_whatif_queries_total", self.whatif_queries);
         push_counter_family(
             &mut out,
             "netrel_planner_route_total",
@@ -532,6 +625,9 @@ impl MetricsSnapshot {
                 ("op", "batch", self.requests_batch),
                 ("op", "stats", self.requests_stats),
                 ("op", "metrics", self.requests_metrics),
+                ("op", "mutate", self.requests_mutate),
+                ("op", "whatif", self.requests_whatif),
+                ("op", "maximize", self.requests_maximize),
             ],
         );
         push_counter(&mut out, "netrel_request_errors_total", self.request_errors);
@@ -688,6 +784,11 @@ mod tests {
         m.bit_lane_utilization_percent.observe(62.5);
         m.cache_hits.add(2);
         m.part_solve_seconds.observe(0.002);
+        m.mutations_update_prob.add(5);
+        m.index_rebuilt.add(2);
+        m.invalidated_worlds.add(9);
+        m.whatif_queries.add(6);
+        m.requests_mutate.add(8);
         let text = m.snapshot().to_prometheus();
         for family in [
             "# TYPE netrel_queries_total counter",
@@ -700,6 +801,12 @@ mod tests {
             "# TYPE netrel_part_solve_seconds histogram",
             "netrel_part_solve_seconds_bucket{le=\"+Inf\"} 1",
             "netrel_part_solve_seconds_count 1",
+            "netrel_mutations_total{op=\"update_prob\"} 5",
+            "netrel_mutations_total{op=\"add_edge\"} 0",
+            "netrel_index_maintenance_total{kind=\"rebuilt\"} 2",
+            "netrel_invalidations_total{target=\"worlds\"} 9",
+            "netrel_whatif_queries_total 6",
+            "netrel_requests_total{op=\"mutate\"} 8",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }

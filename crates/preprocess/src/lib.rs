@@ -31,11 +31,13 @@
 #![deny(missing_docs)]
 
 pub mod decompose;
+pub mod incremental;
 pub mod pipeline;
 pub mod prune;
 pub mod shared;
 pub mod transform;
 
+pub use incremental::{patch_add_edge, patch_remove_edge, patch_update_prob, IndexPatch};
 pub use pipeline::{
     preprocess, preprocess_with_index, Part, PreprocessConfig, PreprocessStats, Preprocessed,
 };

@@ -33,6 +33,13 @@ pub enum GraphError {
         /// Offending probability.
         p: f64,
     },
+    /// An edge id was at least the edge count.
+    EdgeOutOfRange {
+        /// Offending edge id.
+        edge: usize,
+        /// Number of edges in the graph.
+        edges: usize,
+    },
     /// A terminal set was empty or referenced missing vertices.
     InvalidTerminals {
         /// Human-readable reason.
@@ -65,6 +72,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidProbability { u, v, p } => {
                 write!(f, "edge ({u}, {v}) has probability {p} outside (0, 1]")
+            }
+            GraphError::EdgeOutOfRange { edge, edges } => {
+                write!(f, "edge {edge} out of range (graph has {edges} edges)")
             }
             GraphError::InvalidTerminals { reason } => write!(f, "invalid terminals: {reason}"),
             GraphError::Disconnected => write!(f, "operation requires a connected graph"),

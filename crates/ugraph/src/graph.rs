@@ -174,6 +174,91 @@ impl UncertainGraph {
         Ok(t)
     }
 
+    /// Replace the existence probability of edge `e`, returning the old
+    /// value. The graph topology (and hence every structural index built
+    /// on it) is unchanged; the mutated graph is exactly what
+    /// [`UncertainGraph::new`] would produce on the updated edge list.
+    pub fn update_edge_prob(&mut self, e: EdgeId, p: f64) -> Result<f64> {
+        if e >= self.edges.len() {
+            return Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                edges: self.edges.len(),
+            });
+        }
+        let edge = self.edges[e];
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(GraphError::InvalidProbability {
+                u: edge.u,
+                v: edge.v,
+                p,
+            });
+        }
+        let old = edge.p;
+        self.edges[e].p = p;
+        Ok(old)
+    }
+
+    /// Append a new edge, returning its id. Validation matches
+    /// [`UncertainGraph::new`]; because construction pushes edges and
+    /// adjacency entries in insertion order, the mutated graph is
+    /// byte-identical to a fresh build on the extended edge list.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, p: f64) -> Result<EdgeId> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                vertices: self.n,
+            });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                vertices: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(GraphError::InvalidProbability { u, v, p });
+        }
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        if self.adj[a].iter().any(|&(w, _)| w == b) {
+            return Err(GraphError::DuplicateEdge { u: a, v: b });
+        }
+        let id = self.edges.len();
+        self.edges.push(UEdge { u: a, v: b, p });
+        self.adj[a].push((b, id));
+        self.adj[b].push((a, id));
+        Ok(id)
+    }
+
+    /// Remove edge `e`, returning it. Later edge ids shift down by one
+    /// (dense ids, as if the edge had never been inserted): adjacency
+    /// lists keep insertion order with ids above `e` decremented, so the
+    /// mutated graph is byte-identical to a fresh build on the shortened
+    /// edge list.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<UEdge> {
+        if e >= self.edges.len() {
+            return Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                edges: self.edges.len(),
+            });
+        }
+        let removed = self.edges.remove(e);
+        for list in &mut self.adj {
+            list.retain_mut(|(_, id)| {
+                if *id == e {
+                    return false;
+                }
+                if *id > e {
+                    *id -= 1;
+                }
+                true
+            });
+        }
+        Ok(removed)
+    }
+
     /// The vertex-induced subgraph on `keep` (a set of vertex ids), with
     /// vertices renumbered densely. Returns the subgraph and the old→new
     /// vertex mapping (entries for dropped vertices are `None`).
@@ -293,6 +378,89 @@ mod tests {
         assert_eq!(map[1], None);
         assert_eq!(map[2], Some(1));
         assert_eq!(map[3], Some(2));
+    }
+
+    /// Mutated graphs must be indistinguishable from fresh builds on the
+    /// mutated edge list — same edge ids, same probabilities, and the
+    /// same adjacency-list order (which downstream traversals depend on).
+    fn assert_same(a: &UncertainGraph, b: &UncertainGraph) {
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.edges.len(), b.edges.len());
+        for (x, y) in a.edges.iter().zip(&b.edges) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+            assert_eq!(x.p.to_bits(), y.p.to_bits());
+        }
+        assert_eq!(a.adj, b.adj);
+    }
+
+    #[test]
+    fn update_edge_prob_matches_fresh_build() {
+        let mut g = triangle();
+        let old = g.update_edge_prob(1, 0.25).unwrap();
+        assert_eq!(old, 0.6);
+        let fresh = UncertainGraph::new(3, [(0, 1, 0.5), (1, 2, 0.25), (0, 2, 0.7)]).unwrap();
+        assert_same(&g, &fresh);
+        assert!(matches!(
+            g.update_edge_prob(3, 0.5),
+            Err(GraphError::EdgeOutOfRange { edge: 3, edges: 3 })
+        ));
+        assert!(matches!(
+            g.update_edge_prob(0, 0.0),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert_same(&g, &fresh);
+    }
+
+    #[test]
+    fn add_edge_matches_fresh_build() {
+        let mut g = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6)]).unwrap();
+        // Reversed endpoints normalize exactly like construction.
+        assert_eq!(g.add_edge(3, 2, 0.7).unwrap(), 2);
+        let fresh = UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7)]).unwrap();
+        assert_same(&g, &fresh);
+        assert!(matches!(
+            g.add_edge(1, 0, 0.4),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 4, 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(2, 2, 0.5),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 3, 1.5),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert_same(&g, &fresh);
+    }
+
+    #[test]
+    fn remove_edge_matches_fresh_build() {
+        let mut g =
+            UncertainGraph::new(4, [(0, 1, 0.5), (1, 2, 0.6), (2, 3, 0.7), (0, 3, 0.8)]).unwrap();
+        let removed = g.remove_edge(1).unwrap();
+        assert_eq!((removed.u, removed.v, removed.p), (1, 2, 0.6));
+        let fresh = UncertainGraph::new(4, [(0, 1, 0.5), (2, 3, 0.7), (0, 3, 0.8)]).unwrap();
+        assert_same(&g, &fresh);
+        assert!(matches!(
+            g.remove_edge(3),
+            Err(GraphError::EdgeOutOfRange { edge: 3, edges: 3 })
+        ));
+        assert_same(&g, &fresh);
+    }
+
+    #[test]
+    fn mutation_sequence_matches_fresh_build() {
+        let mut g = triangle();
+        g.remove_edge(0).unwrap();
+        g.add_edge(0, 1, 0.9).unwrap();
+        g.update_edge_prob(0, 0.3).unwrap();
+        // After: edges (1,2,0.3), (0,2,0.7), (0,1,0.9) in that id order.
+        let fresh = UncertainGraph::new(3, [(1, 2, 0.3), (0, 2, 0.7), (0, 1, 0.9)]).unwrap();
+        assert_same(&g, &fresh);
     }
 
     #[test]
